@@ -1,0 +1,173 @@
+// Extension benchmarks: the bounded-model unfaithfulness contrast, the
+// digital-versus-analog inverter-chain validation, and the one-shot latch
+// (the paper's faithfulness-equivalent application).
+package involution_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/experiments"
+	"involution/internal/latch"
+	"involution/internal/signal"
+	"involution/internal/spf"
+)
+
+// BenchmarkUnfaithfulnessContrast regenerates the bounded-vs-faithful
+// comparison: the inertial loop decides in constant time at any distance
+// from its threshold, the η-involution loop's settling time diverges.
+func BenchmarkUnfaithfulnessContrast(b *testing.B) {
+	gaps := []float64{1e-1, 1e-3, 1e-5, 1e-7}
+	var rows []experiments.ContrastRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.UnfaithfulnessContrast(gaps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.InertialSettle, "inertial_settle_at_1e-7")
+	b.ReportMetric(last.InvolutionSettle, "involution_settle_at_1e-7")
+	b.ReportMetric(float64(last.InvolutionPulses), "involution_pulses_at_1e-7")
+}
+
+// BenchmarkChainValidation regenerates the 7-stage digital-versus-analog
+// inverter-chain comparison (the GLSVLSI'15-style validation of Section V).
+func BenchmarkChainValidation(b *testing.B) {
+	p := experiments.DefaultChainParams()
+	var v experiments.ChainValidation
+	for i := 0; i < b.N; i++ {
+		var err error
+		v, err = experiments.ChainCheck(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.EnvelopeViolations != 0 {
+			b.Fatalf("%d envelope violations", v.EnvelopeViolations)
+		}
+	}
+	b.ReportMetric(v.MaxAbsError, "max_crossing_error")
+	b.ReportMetric(float64(v.Transitions), "crossings_checked")
+}
+
+// BenchmarkMetastableWindow measures how far an adaptive adversary widens
+// the range of input pulse lengths that sustain the SPF loop oscillation —
+// a point for deterministic involutions, an interval under η.
+func BenchmarkMetastableWindow(b *testing.B) {
+	loop := core.MustNew(delay.MustExp(experiments.ReferenceExp), experiments.ReferenceEta)
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var w spf.WindowResult
+	for i := 0; i < b.N; i++ {
+		w, err = sys.MetastableWindow(101, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(w.Width, "window_width")
+	b.ReportMetric(w.Target, "pinned_up_time")
+	b.ReportMetric(sys.Analysis.DeltaBar, "lemma5_delta_bar")
+}
+
+// BenchmarkRingJitter measures the free-running ring oscillator's period
+// jitter under a uniform η adversary against the deterministic baseline.
+func BenchmarkRingJitter(b *testing.B) {
+	p := experiments.DefaultRingParams()
+	var det, noisy experiments.RingStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		det, err = experiments.RunRing(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(77))
+		noisy, err = experiments.RunRing(p, func() adversary.Strategy { return adversary.Uniform{Rng: rng} })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(det.Mean, "period_det")
+	b.ReportMetric(noisy.StdDev, "jitter_stddev")
+	b.ReportMetric(noisy.Max-noisy.Min, "jitter_pp")
+	b.ReportMetric(noisy.Envelope, "eta_budget")
+}
+
+// BenchmarkSRLatchMetastability locates the SR latch balance point and
+// measures the deepest metastability observed during the bisection.
+func BenchmarkSRLatchMetastability(b *testing.B) {
+	worst := func() adversary.Strategy { return adversary.MinUpTime{} }
+	var boundary, maxSettle float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		boundary, maxSettle, err = experiments.SRLatchBoundary(experiments.ReferenceEta, worst, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(boundary, "balance_offset")
+	b.ReportMetric(maxSettle, "deepest_settle")
+}
+
+// BenchmarkMetastabilityTail fits the exponential settling-time tail of
+// the SPF loop and reports it against the model prediction.
+func BenchmarkMetastabilityTail(b *testing.B) {
+	var res experiments.TailResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MetastabilityTail(12, 4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rate, "fitted_rate")
+	b.ReportMetric(res.PredictedRate, "predicted_rate")
+	b.ReportMetric(res.LowerBoundRate, "lemma7_lower_bound")
+}
+
+// BenchmarkOneShotLatch measures a metastable capture of the one-shot
+// latch near its setup boundary.
+func BenchmarkOneShotLatch(b *testing.B) {
+	loop := core.MustNew(
+		delay.MustExp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}),
+		adversary.Eta{Plus: 0.04, Minus: 0.03})
+	sys, err := latch.NewSystem(loop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	worst := func() adversary.Strategy { return adversary.MinUpTime{} }
+	const enWidth = 10.0
+	// Bracket the capture boundary once.
+	lo, hi := enWidth-3.5, enWidth+0.5
+	for i := 0; i < 30; i++ {
+		mid := 0.5 * (lo + hi)
+		obs, err := sys.Capture(mid, enWidth, worst, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if obs.Captured == signal.High {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	b.ResetTimer()
+	var pulses int
+	for i := 0; i < b.N; i++ {
+		obs, err := sys.Capture(lo, enWidth, worst, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !obs.CleanOutput() {
+			b.Fatalf("runt at the latch output: %v", obs.Q)
+		}
+		pulses = obs.LoopPulses
+	}
+	b.ReportMetric(float64(pulses), "loop_pulses")
+	b.ReportMetric(hi-lo, "boundary_width")
+}

@@ -1,0 +1,456 @@
+// Benchmark harness: one benchmark per paper figure/theorem (see DESIGN.md
+// §3) plus throughput and ablation benches for the design choices DESIGN.md
+// §5 calls out. Headline experiment numbers are reported as custom metrics
+// so `go test -bench` regenerates the evaluation.
+package involution_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"involution/internal/adversary"
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/experiments"
+	"involution/internal/gate"
+	"involution/internal/signal"
+	"involution/internal/sim"
+	"involution/internal/spf"
+)
+
+// BenchmarkFig2PulseAttenuation regenerates the pulse-attenuation trace of
+// Fig. 2 and reports the surviving pulse count.
+func BenchmarkFig2PulseAttenuation(b *testing.B) {
+	var surviving int
+	for i := 0; i < b.N; i++ {
+		_, out, err := experiments.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		surviving = len(out.Pulses())
+	}
+	b.ReportMetric(float64(surviving), "pulses_surviving")
+}
+
+// BenchmarkFig4AdversarialOutputs regenerates the two adversarial output
+// traces of Fig. 4 and reports how many pulses the de-canceling adversary
+// rescued.
+func BenchmarkFig4AdversarialOutputs(b *testing.B) {
+	var det, decanceled int
+	for i := 0; i < b.N; i++ {
+		_, d, _, out2, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		det, decanceled = len(d.Pulses()), len(out2.Pulses())
+	}
+	b.ReportMetric(float64(det), "pulses_deterministic")
+	b.ReportMetric(float64(decanceled), "pulses_decanceled")
+}
+
+// BenchmarkTheorem9RegimeSweep regenerates the Δ₀ regime sweep of Theorem 9
+// (Fig. 5 circuit) under four adversaries and reports the regime
+// boundaries and worst-case train quantities.
+func BenchmarkTheorem9RegimeSweep(b *testing.B) {
+	var sys *spf.System
+	for i := 0; i < b.N; i++ {
+		rows, s, err := experiments.Thm9Sweep(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.VerifyThm9(rows); err != nil {
+			b.Fatal(err)
+		}
+		sys = s
+	}
+	a := sys.Analysis
+	b.ReportMetric(a.CancelBound, "cancel_bound")
+	b.ReportMetric(a.LockBound, "lock_bound")
+	b.ReportMetric(a.Delta0Tilde, "delta0_tilde")
+	b.ReportMetric(a.DeltaBar, "delta_bar")
+	b.ReportMetric(a.Gamma, "gamma")
+	b.ReportMetric(a.Period, "period")
+}
+
+// BenchmarkTheorem12SPF runs the F1–F4 Short-Pulse-Filtration checks of
+// Definition 2 on the full circuit.
+func BenchmarkTheorem12SPF(b *testing.B) {
+	var cc spf.CheckConditions
+	for i := 0; i < b.N; i++ {
+		var err error
+		cc, _, err = experiments.SPFCheck()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cc.WellFormed || !cc.NoGeneration || !cc.Nontrivial || !cc.NoShortPulse {
+			b.Fatalf("F1–F4 failed: %+v", cc)
+		}
+	}
+	eps := cc.Epsilon
+	if math.IsInf(eps, 1) {
+		eps = -1 // no output pulses at all
+	}
+	b.ReportMetric(eps, "epsilon")
+}
+
+// BenchmarkFig7DelayFunctions extracts the δ↓(T) curve family at six supply
+// voltages from the analog substrate and reports the slowdown factor from
+// the highest to the lowest supply.
+func BenchmarkFig7DelayFunctions(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := func(c experiments.Curve) float64 {
+			s := 0.0
+			for _, p := range c.Points {
+				s += p.Y
+			}
+			return s / float64(len(c.Points))
+		}
+		slowdown = mean(curves[0]) / mean(curves[len(curves)-1])
+	}
+	b.ReportMetric(slowdown, "slowdown_0.4V_vs_1V")
+}
+
+func reportFig8(b *testing.B, res experiments.Fig8Result) {
+	b.Helper()
+	b.ReportMetric(res.CoverLowT, "coverage_lowT")
+	b.ReportMetric(res.CoverAll, "coverage_all")
+	b.ReportMetric(res.Band.Plus, "eta_plus")
+	b.ReportMetric(res.Band.Minus, "eta_minus")
+	b.ReportMetric(res.MaxAbsLowT, "maxdev_lowT")
+	b.ReportMetric(res.MaxAbsAll, "maxdev_all")
+}
+
+// BenchmarkFig8aSupplyNoise: deviations under a 1 % supply sine versus the
+// feasible η band (Fig. 8a).
+func BenchmarkFig8aSupplyNoise(b *testing.B) {
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig8a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFig8(b, res)
+}
+
+// BenchmarkFig8bWidthPlus: +10 % transistor width (Fig. 8b).
+func BenchmarkFig8bWidthPlus(b *testing.B) {
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig8b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFig8(b, res)
+}
+
+// BenchmarkFig8cWidthMinus: −10 % transistor width (Fig. 8c).
+func BenchmarkFig8cWidthMinus(b *testing.B) {
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig8c()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFig8(b, res)
+}
+
+// BenchmarkFig9ExpChannelFit fits an exp-channel to the (non-involution)
+// measured delay data and reports fit quality and the low-T/large-T
+// deviation split (Fig. 9).
+func BenchmarkFig9ExpChannelFit(b *testing.B) {
+	var res experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RMSE, "rmse")
+	b.ReportMetric(res.MaxAbsLowT, "maxdev_lowT")
+	b.ReportMetric(res.MaxAbsAll, "maxdev_all")
+	b.ReportMetric(res.CoverLowT, "coverage_lowT")
+}
+
+// --- Throughput benches -------------------------------------------------
+
+func refChannel(b *testing.B, eta adversary.Eta) *core.Channel {
+	b.Helper()
+	pair, err := delay.Exp(experiments.ReferenceExp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := core.New(pair, eta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ch
+}
+
+// BenchmarkChannelApply measures the offline output-generation algorithm's
+// throughput on a 2000-transition train.
+func BenchmarkChannelApply(b *testing.B) {
+	ch := refChannel(b, experiments.ReferenceEta)
+	in, err := signal.Train(0, 2, 5, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	strat := adversary.Uniform{Rng: rng}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Apply(in, strat); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(in.Len()), "transitions")
+}
+
+// BenchmarkSimulatorRingOscillator measures event-loop throughput on a
+// free-running ring oscillator.
+func BenchmarkSimulatorRingOscillator(b *testing.B) {
+	pure, err := channel.NewPure(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func() *circuit.Circuit {
+		c := circuit.New("ring")
+		_ = c.AddInput("i")
+		_ = c.AddOutput("o")
+		_ = c.AddGate("n", gate.Nor(2), signal.Low)
+		_ = c.Connect("i", "n", 0, nil)
+		_ = c.Connect("n", "n", 1, pure)
+		_ = c.Connect("n", "o", 0, nil)
+		return c
+	}
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(mk(), map[string]signal.Signal{"i": signal.Zero()}, sim.Options{Horizon: 500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkSPFMetastableRun simulates one long metastable SPF run near Δ̃₀.
+func BenchmarkSPFMetastableRun(b *testing.B) {
+	loop := refChannel(b, experiments.ReferenceEta)
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d0 := sys.Analysis.Delta0Tilde + 1e-9
+	worst := func() adversary.Strategy { return adversary.MinUpTime{} }
+	var pulses int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs, err := sys.Observe(d0, worst, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pulses = obs.Pulses
+	}
+	b.ReportMetric(float64(pulses), "metastable_pulses")
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------
+
+// naiveApply is the O(n²) reference implementation of the cancellation
+// rule: for each transition, scan back for the nearest yet-uncanceled
+// earlier transition and cancel the pair on FIFO violation.
+func naiveApply(ch *core.Channel, in signal.Signal) (signal.Signal, error) {
+	st := ch.NewState(adversary.Zero{})
+	n := in.Len()
+	outs := make([]float64, n)
+	canceled := make([]bool, n)
+	for i := 0; i < n; i++ {
+		tr := in.Transition(i)
+		outs[i] = st.Step(tr.At, tr.Rising())
+		for j := i - 1; j >= 0; j-- {
+			if canceled[j] {
+				continue
+			}
+			if outs[j] >= outs[i] {
+				canceled[j], canceled[i] = true, true
+			}
+			break
+		}
+	}
+	var trs []signal.Transition
+	for i := 0; i < n; i++ {
+		if !canceled[i] {
+			trs = append(trs, signal.Transition{At: outs[i], To: in.Transition(i).To})
+		}
+	}
+	return signal.New(in.Initial(), trs...)
+}
+
+// BenchmarkAblationCancellation compares the stack-based cancellation
+// bookkeeping against the naive back-scan over the cancellation flags, on
+// two traffic regimes: "sparse" (wide pulses, few cancellations — both
+// algorithms do constant work per transition) and "glitchy" (every pulse
+// cancels). Identical outputs are asserted once up front.
+func BenchmarkAblationCancellation(b *testing.B) {
+	ch := refChannel(b, adversary.Eta{})
+	sparse, err := signal.Train(0, 0.9, 2.1, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	glitchy, err := signal.Train(0, 0.3, 0.65, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, in := range []signal.Signal{sparse, glitchy} {
+		want, err := ch.Apply(in, adversary.Zero{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := naiveApply(ch, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !want.Equal(got, 1e-12) {
+			b.Fatalf("naive and stack cancellation disagree:\n%v\n%v", want.Before(30), got.Before(30))
+		}
+	}
+	for _, c := range []struct {
+		name string
+		in   signal.Signal
+	}{{"sparse", sparse}, {"glitchy", glitchy}} {
+		b.Run("stack/"+c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ch.Apply(c.in, adversary.Zero{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("naive/"+c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := naiveApply(ch, c.in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDelayEval compares the analytic exp-channel δ↓ against
+// the numerically inverted branch derived from δ↑ (identical values).
+func BenchmarkAblationDelayEval(b *testing.B) {
+	pair, err := delay.Exp(experiments.ReferenceExp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	derived, err := delay.FromUp(pair.Up)
+	if err != nil {
+		b.Fatal(err)
+	}
+	Ts := delay.Linspace(-0.5, 5, 64)
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, T := range Ts {
+				_ = pair.Down.Eval(T)
+			}
+		}
+	})
+	b.Run("numeric-inverse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, T := range Ts {
+				_ = derived.Down.Eval(T)
+			}
+		}
+	})
+}
+
+// newtonTau solves the fixed-point equation (6) with Newton iteration, the
+// alternative to the scan+bisection used by core.Analyze.
+func newtonTau(ch *core.Channel, a core.Analysis) float64 {
+	pair := ch.Pair()
+	eta := ch.Eta()
+	h := func(tau float64) float64 {
+		return pair.Down.Eval(eta.Plus-tau) + pair.Up.Eval(-eta.Minus-tau) - tau
+	}
+	tau := eta.Plus + a.DeltaMin + 0.1
+	for i := 0; i < 60; i++ {
+		d := delay.NumDeriv(h, tau)
+		step := h(tau) / d
+		tau -= step
+		if math.Abs(step) < 1e-14 {
+			break
+		}
+	}
+	return tau
+}
+
+// BenchmarkAblationFixedPoint compares the bracketed scan+bisection of
+// core.Analyze against Newton iteration for the fixed point τ.
+func BenchmarkAblationFixedPoint(b *testing.B) {
+	ch := refChannel(b, experiments.ReferenceEta)
+	ref, err := core.Analyze(ch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if nt := newtonTau(ch, ref); math.Abs(nt-ref.Tau) > 1e-9 {
+		b.Fatalf("newton τ=%g, bisection τ=%g", nt, ref.Tau)
+	}
+	b.Run("scan-bisect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(ch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("newton", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = newtonTau(ch, ref)
+		}
+	})
+}
+
+// BenchmarkAblationWorstCaseVsMonteCarlo verifies that randomized
+// adversaries never beat the analytic worst-case bound Δ̄ (Lemma 5) while
+// measuring the cost of the Monte-Carlo alternative.
+func BenchmarkAblationWorstCaseVsMonteCarlo(b *testing.B) {
+	loop := refChannel(b, experiments.ReferenceEta)
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := sys.Analysis
+	d0 := a.Delta0Tilde - 1e-3
+	rng := rand.New(rand.NewSource(4))
+	var worstSeen float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mk := func() adversary.Strategy { return adversary.Uniform{Rng: rng} }
+		obs, err := sys.Observe(d0, mk, 600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if obs.Resolved == signal.Low && obs.MaxUpTail > worstSeen {
+			worstSeen = obs.MaxUpTail
+		}
+		if obs.Resolved == signal.Low && obs.MaxUpTail > a.DeltaBar+1e-6 {
+			b.Fatalf("Monte-Carlo run exceeded Δ̄: %g > %g", obs.MaxUpTail, a.DeltaBar)
+		}
+	}
+	b.ReportMetric(a.DeltaBar, "analytic_delta_bar")
+	b.ReportMetric(worstSeen, "montecarlo_max_up")
+}

@@ -1,0 +1,156 @@
+// Command delayfit fits exp-channel parameters to measured (T, δ) delay
+// samples — the model-calibration flow of Section V — and reports the
+// deviation statistics against the feasible η band.
+//
+// Usage:
+//
+//	delayfit -up up.csv -down down.csv [-eta+ 0.05]
+//	delayfit -measure second-order            # generate synthetic data first
+//
+// CSV format: header "T,delta", one sample per row (see package trace).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"involution/internal/analog"
+	"involution/internal/delay"
+	"involution/internal/fit"
+	"involution/internal/trace"
+)
+
+func main() {
+	upFile := flag.String("up", "", "CSV with δ↑ samples")
+	downFile := flag.String("down", "", "CSV with δ↓ samples")
+	measure := flag.String("measure", "", "generate synthetic samples instead: first-order|second-order")
+	etaPlus := flag.Float64("eta+", -1, "η⁺ for the feasible band (< 0: 10% of fitted δmin)")
+	export := flag.String("export", "", "export the fitted channel as sampled (T, δ) tables to <prefix>_up.csv / <prefix>_down.csv")
+	exportN := flag.Int("export-points", 64, "sample count per exported branch")
+	flag.Parse()
+
+	var up, down []delay.Sample
+	switch {
+	case *measure != "":
+		var model analog.Model
+		switch *measure {
+		case "first-order":
+			model = analog.FirstOrder
+		case "second-order":
+			model = analog.SecondOrder
+		default:
+			fatal(fmt.Errorf("unknown model %q", *measure))
+		}
+		inv := analog.Inverter{Model: model, Tau: 1, Tau2: 0.3, TP: 0.25}
+		m, err := analog.Measure(inv, analog.MeasureConfig{
+			Widths: delay.Linspace(0.9, 6, 14),
+			Gaps:   delay.Linspace(0.9, 6, 7),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		up, down = m.Up, m.Down
+		fmt.Printf("measured %d δ↑ and %d δ↓ samples (%d stimuli skipped)\n", len(up), len(down), m.Skipped)
+	case *upFile != "" || *downFile != "":
+		var err error
+		if up, err = readSamples(*upFile); err != nil {
+			fatal(err)
+		}
+		if down, err = readSamples(*downFile); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("provide -up/-down CSVs or -measure"))
+	}
+
+	res, err := fit.FitExp(up, down)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fitted exp-channel: τ=%.6g  Tp=%.6g  Vth=%.6g   (RMSE %.3g, %d evals)\n",
+		res.Params.Tau, res.Params.TP, res.Params.Vth, res.RMSE, res.Evals)
+
+	pair, err := delay.Exp(res.Params)
+	if err != nil {
+		fatal(err)
+	}
+	dmin, err := pair.DeltaMin()
+	if err != nil {
+		fatal(err)
+	}
+	ep := *etaPlus
+	if ep < 0 {
+		ep = 0.1 * dmin
+	}
+	band, err := fit.FeasibleBand(pair, ep)
+	if err != nil {
+		fatal(err)
+	}
+	devUp := fit.Deviations(up, pair.Up)
+	devDown := fit.Deviations(down, pair.Down)
+	all := append(append([]fit.DevPoint{}, devUp...), devDown...)
+	maxLow, _ := fit.MaxAbsDeviation(all, dmin)
+	maxAll, atT := fit.MaxAbsDeviation(all, math.Inf(1))
+	fmt.Printf("δmin = %.6g; feasible η band [−%.4g, +%.4g]\n", dmin, band.Minus, band.Plus)
+	fmt.Printf("deviations: max|D| = %.4g (T ≤ δmin), %.4g overall (at T=%.4g)\n", maxLow, maxAll, atT)
+	fmt.Printf("coverage: %.0f%% for T ≤ δmin, %.0f%% overall\n",
+		100*fit.Coverage(all, band, dmin), 100*fit.Coverage(all, band, math.Inf(1)))
+
+	if *export != "" {
+		// Sample the fitted branches over the measured T range and write
+		// lookup tables usable by other simulators (or re-importable via
+		// delay.NewTable).
+		maxT := 0.0
+		for _, s := range append(append([]delay.Sample{}, up...), down...) {
+			if s.T > maxT {
+				maxT = s.T
+			}
+		}
+		for _, b := range []struct {
+			name string
+			f    delay.Func
+		}{{"up", pair.Up}, {"down", pair.Down}} {
+			Ts := delay.Linspace(b.f.DomainMin()+1e-3*(1+dmin), maxT+dmin, *exportN)
+			path := fmt.Sprintf("%s_%s.csv", *export, b.name)
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteSamplesCSV(f, delay.SampleFunc(b.f, Ts)); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	chart := trace.Chart{Title: "deviation D(T)", XLabel: "T", YLabel: "D", Height: 12}
+	series := map[string][]trace.Point{}
+	for _, p := range devUp {
+		series["up"] = append(series["up"], trace.Point{X: p.T, Y: p.D})
+	}
+	for _, p := range devDown {
+		series["down"] = append(series["down"], trace.Point{X: p.T, Y: p.D})
+	}
+	fmt.Print(chart.Render(series))
+}
+
+func readSamples(path string) ([]delay.Sample, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadSamplesCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "delayfit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,377 @@
+// Command figures regenerates the data behind every figure of the paper
+// (and the Theorem 9/12 results), writing CSV series and printing ASCII
+// previews. See DESIGN.md §3 for the experiment index.
+//
+// Usage:
+//
+//	figures -fig all -out out/
+//	figures -fig 8a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/experiments"
+	"involution/internal/fit"
+	"involution/internal/signal"
+	"involution/internal/spf"
+	"involution/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2|4|7|8a|8b|8c|9|thm9|spf|contrast|chain|srlatch|tail|window|ring|all")
+	out := flag.String("out", "", "directory for CSV output (omit to skip CSV)")
+	points := flag.Int("points", 9, "Δ₀ sweep points per adversary for thm9")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	run := func(name string, f func(outDir string) error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		fmt.Printf("── %s ────────────────────────────────────────────\n", name)
+		if err := f(*out); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+
+	run("2", fig2)
+	run("4", fig4)
+	run("thm9", func(dir string) error { return thm9(dir, *points) })
+	run("spf", spfCheck)
+	run("7", fig7)
+	run("8a", func(dir string) error { return fig8(dir, "8a", experiments.Fig8a) })
+	run("8b", func(dir string) error { return fig8(dir, "8b", experiments.Fig8b) })
+	run("8c", func(dir string) error { return fig8(dir, "8c", experiments.Fig8c) })
+	run("9", fig9)
+	run("contrast", contrast)
+	run("chain", chain)
+	run("srlatch", srlatch)
+	run("tail", tail)
+	run("window", window)
+	run("ring", ring)
+}
+
+func ring(dir string) error {
+	p := experiments.DefaultRingParams()
+	det, err := experiments.RunRing(p, nil)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(77))
+	noisy, err := experiments.RunRing(p, func() adversary.Strategy { return adversary.Uniform{Rng: rng} })
+	if err != nil {
+		return err
+	}
+	walk, err := experiments.RunRing(p, func() adversary.Strategy {
+		return &adversary.RandomWalk{Rng: rng, Step: 0.1 * p.Eta.Width()}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d-stage ring oscillator with η-involution stages (η = [−%g, +%g]):\n",
+		p.Stages, p.Eta.Minus, p.Eta.Plus)
+	fmt.Printf("%14s %10s %10s %10s %10s %8s\n", "adversary", "mean P", "min", "max", "stddev", "samples")
+	for _, row := range []struct {
+		name string
+		st   experiments.RingStats
+	}{{"zero", det}, {"uniform", noisy}, {"random-walk", walk}} {
+		fmt.Printf("%14s %10.4f %10.4f %10.4f %10.2e %8d\n",
+			row.name, row.st.Mean, row.st.Min, row.st.Max, row.st.StdDev, len(row.st.Periods))
+	}
+	fmt.Printf("first-order jitter budget per period: ±%.3f (2·stages·η, before T-coupling)\n", noisy.Envelope)
+	series := map[string][]trace.Point{}
+	for i, per := range noisy.Periods {
+		series["uniform"] = append(series["uniform"], trace.Point{X: float64(i), Y: per})
+	}
+	for i, per := range walk.Periods {
+		series["walk"] = append(series["walk"], trace.Point{X: float64(i), Y: per})
+	}
+	return writeCSV(dir, "ring.csv", series)
+}
+
+func window(dir string) error {
+	loop, err := core.New(delay.MustExp(experiments.ReferenceExp), experiments.ReferenceEta)
+	if err != nil {
+		return err
+	}
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		return err
+	}
+	w, err := sys.MetastableWindow(101, 500)
+	if err != nil {
+		return err
+	}
+	fmt.Println("adaptive-adversary metastable window of the SPF loop:")
+	fmt.Printf("  sustained Δ₀ range: [%.4f, %.4f], width %.4f (of the %.4f regime window)\n",
+		w.Lo, w.Hi, w.Width, sys.Analysis.LockBound-sys.Analysis.CancelBound)
+	fmt.Printf("  pinned up-time %.4f ≤ Δ̄ = %.4f (Lemma 5 respected)\n", w.Target, sys.Analysis.DeltaBar)
+	fmt.Println("  (a deterministic involution channel sustains oscillation only at a single Δ₀)")
+	zeroLoop, err := core.New(delay.MustExp(experiments.ReferenceExp), adversary.Eta{})
+	if err != nil {
+		return err
+	}
+	zeroSys, err := spf.NewSystem(zeroLoop)
+	if err != nil {
+		return err
+	}
+	wz, err := zeroSys.MetastableWindow(101, 500)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  η = 0 control: width %.4f\n", wz.Width)
+	_ = dir
+	return nil
+}
+
+func srlatch(dir string) error {
+	eta := experiments.ReferenceEta
+	worst := func() adversary.Strategy { return adversary.MinUpTime{} }
+	offsets := []float64{-0.5, -0.1, -0.01, -0.001, 0, 0.001, 0.01, 0.1, 0.5}
+	rows, err := experiments.SRLatchSweep(eta, offsets, worst, 2000)
+	if err != nil {
+		return err
+	}
+	fmt.Println("cross-coupled NOR SR latch, set/reset released 1±offset apart:")
+	fmt.Printf("%10s %8s %12s %12s\n", "offset", "q", "transitions", "settle")
+	series := map[string][]trace.Point{}
+	for _, r := range rows {
+		fmt.Printf("%+10.4f %8v %12d %12.3f\n", r.Offset, r.State, r.Transitions, r.SettleTime)
+		series["settle"] = append(series["settle"], trace.Point{X: r.Offset, Y: r.SettleTime})
+	}
+	boundary, maxSettle, err := experiments.SRLatchBoundary(eta, worst, 2000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("balance point ≈ %+.2e; deepest observed metastability: settle %.1f\n", boundary, maxSettle)
+	return writeCSV(dir, "srlatch.csv", series)
+}
+
+func tail(dir string) error {
+	res, err := experiments.MetastabilityTail(12, 4000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metastability tail of the SPF loop (%d samples):\n", res.Samples)
+	fmt.Printf("  fitted    P(settle > t) rate: %.4f\n", res.Rate)
+	fmt.Printf("  predicted ln(f′(Δ̄))/P      : %.4f\n", res.PredictedRate)
+	fmt.Printf("  Lemma 7 lower bound ln(a)/P : %.4f\n", res.LowerBoundRate)
+	_ = dir
+	return nil
+}
+
+func contrast(dir string) error {
+	gaps := []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7}
+	rows, err := experiments.UnfaithfulnessContrast(gaps)
+	if err != nil {
+		return err
+	}
+	fmt.Println("bounded single-history (inertial) vs η-involution storage loop,")
+	fmt.Println("input pulse at distance gap from the respective decision threshold:")
+	fmt.Printf("%10s %18s %20s %18s\n", "gap", "inertial settle", "involution settle", "involution pulses")
+	series := map[string][]trace.Point{}
+	for _, r := range rows {
+		fmt.Printf("%10.0e %18.3f %20.3f %18d\n", r.Gap, r.InertialSettle, r.InvolutionSettle, r.InvolutionPulses)
+		series["inertial"] = append(series["inertial"], trace.Point{X: math.Log10(r.Gap), Y: r.InertialSettle})
+		series["involution"] = append(series["involution"], trace.Point{X: math.Log10(r.Gap), Y: r.InvolutionSettle})
+	}
+	fmt.Println("the inertial model decides in bounded time (physically impossible);")
+	fmt.Println("the η-involution model's settling time diverges — faithfulness.")
+	return writeCSV(dir, "contrast.csv", series)
+}
+
+func chain(dir string) error {
+	p := experiments.DefaultChainParams()
+	v, err := experiments.ChainCheck(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("7-stage inverter chain, digital η-involution model vs analog substrate:\n")
+	fmt.Printf("  deterministic max |crossing error|: %.2e (integration grid %.2e × %d stages)\n",
+		v.MaxAbsError, p.Dt, p.Stages)
+	fmt.Printf("  1%% supply sine: %d/%d noisy crossings inside the ±η digital envelope\n",
+		v.Transitions-v.EnvelopeViolations, v.Transitions)
+	_ = dir
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+func writeCSV(dir, name string, series map[string][]trace.Point) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, series); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+	return nil
+}
+
+func signalSteps(s signal.Signal, upTo float64) []trace.Point {
+	pts := []trace.Point{{X: 0, Y: float64(s.Initial())}}
+	for _, tr := range s.Transitions() {
+		pts = append(pts, trace.Point{X: tr.At, Y: float64(tr.To.Not())}, trace.Point{X: tr.At, Y: float64(tr.To)})
+	}
+	pts = append(pts, trace.Point{X: upTo, Y: float64(s.Final())})
+	return pts
+}
+
+func fig2(dir string) error {
+	in, out, err := experiments.Fig2()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input : %v\n", in)
+	fmt.Printf("output: %v\n", out)
+	fmt.Printf("surviving pulses: %d of %d (second attenuated, third canceled)\n",
+		len(out.Pulses()), len(in.Pulses()))
+	horizon := in.StabilizationTime() + 3
+	return writeCSV(dir, "fig2.csv", map[string][]trace.Point{
+		"in":  signalSteps(in, horizon),
+		"out": signalSteps(out, horizon),
+	})
+}
+
+func fig4(dir string) error {
+	in, det, out1, out2, err := experiments.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input        : %v\n", in)
+	fmt.Printf("deterministic: %v\n", det)
+	fmt.Printf("out1 (late)  : %v\n", out1)
+	fmt.Printf("out2 (wiggle): %v   <- second pulse de-canceled\n", out2)
+	horizon := in.StabilizationTime() + 3
+	return writeCSV(dir, "fig4.csv", map[string][]trace.Point{
+		"in":   signalSteps(in, horizon),
+		"det":  signalSteps(det, horizon),
+		"out1": signalSteps(out1, horizon),
+		"out2": signalSteps(out2, horizon),
+	})
+}
+
+func thm9(dir string, points int) error {
+	rows, sys, err := experiments.Thm9Sweep(points)
+	if err != nil {
+		return err
+	}
+	if err := experiments.VerifyThm9(rows); err != nil {
+		return fmt.Errorf("prediction violated: %w", err)
+	}
+	a := sys.Analysis
+	fmt.Printf("loop analysis: δmin=%.4f  τ=P=%.4f  Δ̄=%.4f  γ̄=%.4f\n", a.DeltaMin, a.Tau, a.DeltaBar, a.Gamma)
+	fmt.Printf("regimes: cancel ≤ %.4f  <  metastable (Δ̃₀=%.4f)  <  %.4f ≤ lock\n", a.CancelBound, a.Delta0Tilde, a.LockBound)
+	fmt.Printf("%10s %-10s %-8s %6s %6s %7s %8s %8s\n", "Δ₀", "regime", "adv", "trans", "final", "pulses", "maxUp", "maxDuty")
+	for _, r := range rows {
+		fmt.Printf("%10.4f %-10s %-8s %6d %6s %7d %8.4f %8.4f\n",
+			r.Delta0, r.Predicted, r.Adversary, r.LoopTransitions, r.Final, r.Pulses, r.MaxUpTail, r.MaxDutyTail)
+	}
+	fmt.Println("all rows satisfy the Theorem 9 regime predictions and Lemma 5 bounds ✓")
+	series := map[string][]trace.Point{}
+	for _, r := range rows {
+		series["pulses_"+r.Adversary] = append(series["pulses_"+r.Adversary], trace.Point{X: r.Delta0, Y: float64(r.Pulses)})
+	}
+	return writeCSV(dir, "thm9.csv", series)
+}
+
+func spfCheck(dir string) error {
+	cc, sys, err := experiments.SPFCheck()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("F1 well-formed : %v\n", cc.WellFormed)
+	fmt.Printf("F2 no generation: %v\n", cc.NoGeneration)
+	fmt.Printf("F3 nontrivial  : %v\n", cc.Nontrivial)
+	eps := "∞ (no output pulses at all)"
+	if !math.IsInf(cc.Epsilon, 1) {
+		eps = fmt.Sprintf("%g", cc.Epsilon)
+	}
+	fmt.Printf("F4 no short pulses: %v (smallest output pulse: %s)\n", cc.NoShortPulse, eps)
+	fmt.Printf("buffer: exp-channel τ=%.3g Tp=%.3g Vth=%.3g (Θ=%.3g, Γ=%.3g)\n",
+		sys.Buffer.Tau, sys.Buffer.TP, sys.Buffer.Vth, sys.Theta, sys.GammaBound)
+	_ = dir
+	return nil
+}
+
+func fig7(dir string) error {
+	curves, err := experiments.Fig7()
+	if err != nil {
+		return err
+	}
+	series := map[string][]trace.Point{}
+	for _, c := range curves {
+		series[c.Name] = c.Points
+	}
+	chart := trace.Chart{Title: "Fig 7: measured δ↓(T) per supply voltage", XLabel: "T", YLabel: "δ↓(T)", Height: 16}
+	fmt.Print(chart.Render(series))
+	return writeCSV(dir, "fig7.csv", series)
+}
+
+func fig8(dir, name string, gen func() (experiments.Fig8Result, error)) error {
+	res, err := gen()
+	if err != nil {
+		return err
+	}
+	printDevResult(name, res.Up, res.Down, res.Band, res.DeltaMin, res.CoverLowT, res.CoverAll)
+	return writeCSV(dir, "fig"+name+".csv", devSeries(res.Up, res.Down, res.Band))
+}
+
+func fig9(dir string) error {
+	res, err := experiments.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fitted exp-channel: τ=%.4f Tp=%.4f Vth=%.4f (RMSE %.2g)\n",
+		res.Params.Tau, res.Params.TP, res.Params.Vth, res.RMSE)
+	printDevResult("9", res.Up, res.Down, res.Band, res.DeltaMin, res.CoverLowT, res.CoverAll)
+	return writeCSV(dir, "fig9.csv", devSeries(res.Up, res.Down, res.Band))
+}
+
+func printDevResult(name string, up, down []fit.DevPoint, band fit.Band, dmin, covLow, covAll float64) {
+	series := devSeries(up, down, band)
+	chart := trace.Chart{Title: "Fig " + name + ": deviation D(T) vs feasible η band", XLabel: "T", YLabel: "D", Height: 14}
+	fmt.Print(chart.Render(series))
+	fmt.Printf("η band: [−%.4g, +%.4g]  δmin=%.4g\n", band.Minus, band.Plus, dmin)
+	fmt.Printf("coverage: %.0f%% for T ≤ δmin, %.0f%% overall\n", 100*covLow, 100*covAll)
+}
+
+func devSeries(up, down []fit.DevPoint, band fit.Band) map[string][]trace.Point {
+	series := map[string][]trace.Point{}
+	var maxT float64
+	for _, p := range up {
+		series["dev_up"] = append(series["dev_up"], trace.Point{X: p.T, Y: p.D})
+		maxT = math.Max(maxT, p.T)
+	}
+	for _, p := range down {
+		series["dev_down"] = append(series["dev_down"], trace.Point{X: p.T, Y: p.D})
+		maxT = math.Max(maxT, p.T)
+	}
+	series["eta_band"] = []trace.Point{
+		{X: 0, Y: band.Plus}, {X: maxT, Y: band.Plus},
+		{X: 0, Y: -band.Minus}, {X: maxT, Y: -band.Minus},
+	}
+	return series
+}

@@ -1,0 +1,133 @@
+// Command netsim event-simulates a text netlist (see package netlist for
+// the format) with user-provided stimuli and prints or dumps the traces.
+//
+// Usage:
+//
+//	netsim -f design.net -in 'i=0 r@1 f@2.5' -horizon 100 [-vcd out.vcd] [-dot out.dot]
+//
+// Each -in flag assigns a stimulus to an input port; the signal syntax is
+// the one produced by signal.String: initial value then r@t / f@t edges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"involution/internal/netlist"
+	"involution/internal/signal"
+	"involution/internal/sim"
+	"involution/internal/trace"
+)
+
+type stimuli map[string]signal.Signal
+
+func (s stimuli) String() string { return fmt.Sprintf("%d stimuli", len(s)) }
+
+func (s stimuli) Set(v string) error {
+	name, text, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want <port>=<signal>, got %q", v)
+	}
+	sig, err := signal.Parse(strings.TrimSpace(text))
+	if err != nil {
+		return err
+	}
+	s[strings.TrimSpace(name)] = sig
+	return nil
+}
+
+func main() {
+	file := flag.String("f", "", "netlist file (required)")
+	horizon := flag.Float64("horizon", 100, "simulation horizon")
+	vcd := flag.String("vcd", "", "write traces as VCD to this file")
+	wavejson := flag.String("wavejson", "", "write traces as WaveDrom WaveJSON to this file")
+	dot := flag.String("dot", "", "write the circuit graph as DOT to this file")
+	resolution := flag.Float64("resolution", 1e-3, "VCD time resolution")
+	tick := flag.Float64("tick", 0.5, "WaveJSON tick size")
+	in := stimuli{}
+	flag.Var(in, "in", "input stimulus, e.g. 'i=0 r@1 f@2.5' (repeatable)")
+	flag.Parse()
+
+	if *file == "" {
+		fatal(fmt.Errorf("missing -f netlist file"))
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := netlist.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates, %d channels (%d zero-delay)\n",
+		c.Name, st.Inputs, st.Outputs, st.Gates, st.Channels, st.ZeroDelay)
+
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(c.DOT()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dot)
+	}
+
+	// Default unmentioned inputs to constant zero.
+	inputs := map[string]signal.Signal{}
+	for _, name := range c.Inputs() {
+		if sig, ok := in[name]; ok {
+			inputs[name] = sig
+		} else {
+			inputs[name] = signal.Zero()
+		}
+	}
+	for name := range in {
+		if _, ok := inputs[name]; !ok {
+			fatal(fmt.Errorf("stimulus for unknown input port %q", name))
+		}
+	}
+
+	res, err := sim.Run(c, inputs, sim.Options{Horizon: *horizon})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d events processed up to t=%g\n", res.Events, res.Horizon)
+	names := make([]string, 0, len(res.Signals))
+	for n := range res.Signals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-12s %v\n", n, res.Signals[n])
+	}
+
+	if *vcd != "" {
+		f, err := os.Create(*vcd)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteVCD(f, res.Signals, "1ps", *resolution); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *vcd)
+	}
+	if *wavejson != "" {
+		f, err := os.Create(*wavejson)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteWaveJSON(f, res.Signals, *tick, *horizon); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *wavejson)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netsim:", err)
+	os.Exit(1)
+}

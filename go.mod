@@ -1,0 +1,3 @@
+module involution
+
+go 1.22

@@ -1,0 +1,210 @@
+// Package adversary implements the non-deterministic choice of the
+// η-involution model: for every input transition, an adversary picks a
+// perturbation ηₙ ∈ [−η⁻, η⁺] that is added to the deterministic involution
+// delay. Strategies range from the zero adversary (plain involution model)
+// over the worst-case adversary of Lemma 5 to bounded random-noise and
+// drift models (white noise, flicker-like random walks, sinusoidal supply
+// variation) — the jitter sources the paper cites from Calosso & Rubiola.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Eta is the perturbation interval η = [−Minus, +Plus] with Plus, Minus ≥ 0.
+type Eta struct {
+	Plus  float64 // η⁺: maximum lateness added to an output transition
+	Minus float64 // η⁻: maximum earliness
+}
+
+// Validate checks Plus, Minus ≥ 0 and finite.
+func (e Eta) Validate() error {
+	if !(e.Plus >= 0) || math.IsInf(e.Plus, 1) {
+		return fmt.Errorf("adversary: η⁺ = %g must be ≥ 0 and finite", e.Plus)
+	}
+	if !(e.Minus >= 0) || math.IsInf(e.Minus, 1) {
+		return fmt.Errorf("adversary: η⁻ = %g must be ≥ 0 and finite", e.Minus)
+	}
+	return nil
+}
+
+// IsZero reports whether the interval is degenerate (no non-determinism).
+func (e Eta) IsZero() bool { return e.Plus == 0 && e.Minus == 0 }
+
+// Width returns η⁺ + η⁻.
+func (e Eta) Width() float64 { return e.Plus + e.Minus }
+
+// Clamp restricts x to [−Minus, +Plus].
+func (e Eta) Clamp(x float64) float64 {
+	if x > e.Plus {
+		return e.Plus
+	}
+	if x < -e.Minus {
+		return -e.Minus
+	}
+	return x
+}
+
+// Contains reports whether x ∈ [−Minus, +Plus].
+func (e Eta) Contains(x float64) bool { return x >= -e.Minus && x <= e.Plus }
+
+// Context describes the input transition for which an η-choice is requested.
+type Context struct {
+	N      int     // 1-based transition index (the paper's n)
+	At     float64 // input transition time tₙ
+	T      float64 // previous-output-to-input offset tₙ − tₙ₋₁ − δₙ₋₁
+	Rising bool    // whether tₙ is a rising transition
+}
+
+// Strategy resolves the adversarial choice: Eta returns ηₙ for the given
+// transition. Implementations must return values within [−eta.Minus,
+// +eta.Plus]; the channel clamps defensively regardless.
+//
+// A Strategy instance is stateful in general (random or walk-based
+// adversaries); use a fresh instance per channel.
+type Strategy interface {
+	Eta(eta Eta, ctx Context) float64
+}
+
+// Func adapts a function to the Strategy interface.
+type Func func(eta Eta, ctx Context) float64
+
+// Eta calls f.
+func (f Func) Eta(eta Eta, ctx Context) float64 { return f(eta, ctx) }
+
+// Zero is the adversary that always picks η = 0, reducing the η-involution
+// channel to a plain involution channel. Its existence is what makes the
+// bounded-time SPF impossibility carry over (Section IV).
+type Zero struct{}
+
+// Eta returns 0.
+func (Zero) Eta(Eta, Context) float64 { return 0 }
+
+// MinUpTime is the worst-case adversary of Lemma 5: it takes all rising
+// transitions maximally (η⁺) late and all falling transitions maximally
+// (η⁻) early, minimizing the up-times of the generated pulse train.
+type MinUpTime struct{}
+
+// Eta returns +η⁺ for rising and −η⁻ for falling transitions.
+func (MinUpTime) Eta(eta Eta, ctx Context) float64 {
+	if ctx.Rising {
+		return eta.Plus
+	}
+	return -eta.Minus
+}
+
+// MaxUpTime is the inverted worst case: rising maximally early, falling
+// maximally late, maximizing up-times (the fastest way to de-cancel pulses).
+type MaxUpTime struct{}
+
+// Eta returns −η⁻ for rising and +η⁺ for falling transitions.
+func (MaxUpTime) Eta(eta Eta, ctx Context) float64 {
+	if ctx.Rising {
+		return -eta.Minus
+	}
+	return eta.Plus
+}
+
+// Uniform draws each ηₙ independently and uniformly from [−η⁻, η⁺]
+// (bounded white noise).
+type Uniform struct {
+	Rng *rand.Rand
+}
+
+// Eta draws uniformly from the η interval.
+func (u Uniform) Eta(eta Eta, _ Context) float64 {
+	return -eta.Minus + u.Rng.Float64()*eta.Width()
+}
+
+// Gaussian draws each ηₙ from a centered normal with standard deviation
+// Sigma·(η⁺+η⁻)/2, clipped to the η interval.
+type Gaussian struct {
+	Rng   *rand.Rand
+	Sigma float64 // relative σ; 0 means 0.5
+}
+
+// Eta draws a clipped Gaussian perturbation.
+func (g Gaussian) Eta(eta Eta, _ Context) float64 {
+	s := g.Sigma
+	if s == 0 {
+		s = 0.5
+	}
+	return eta.Clamp(g.Rng.NormFloat64() * s * eta.Width() / 2)
+}
+
+// RandomWalk models slowly varying (flicker-like) noise: ηₙ performs a
+// bounded random walk with uniform steps in [−Step, Step], reflected at the
+// η interval boundaries.
+type RandomWalk struct {
+	Rng  *rand.Rand
+	Step float64 // maximum step per transition
+	cur  float64
+	init bool
+}
+
+// Eta advances the walk and returns the current position.
+func (w *RandomWalk) Eta(eta Eta, _ Context) float64 {
+	if !w.init {
+		w.cur = -eta.Minus + w.Rng.Float64()*eta.Width()
+		w.init = true
+		return w.cur
+	}
+	w.cur += (2*w.Rng.Float64() - 1) * w.Step
+	// Reflect at the boundaries.
+	if w.cur > eta.Plus {
+		w.cur = 2*eta.Plus - w.cur
+	}
+	if w.cur < -eta.Minus {
+		w.cur = -2*eta.Minus - w.cur
+	}
+	w.cur = eta.Clamp(w.cur)
+	return w.cur
+}
+
+// Sine models deterministic operating-condition drift (e.g. the 1 % supply
+// sine of Fig. 8a): η(t) = clamp(Amp · sin(2π·t/Period + Phase)).
+type Sine struct {
+	Amp    float64
+	Period float64
+	Phase  float64 // radians
+}
+
+// Eta evaluates the sine at the transition time.
+func (s Sine) Eta(eta Eta, ctx Context) float64 {
+	if s.Period == 0 {
+		return 0
+	}
+	return eta.Clamp(s.Amp * math.Sin(2*math.Pi*ctx.At/s.Period+s.Phase))
+}
+
+// Sequence replays a fixed list of choices by transition index (1-based),
+// falling back to Default beyond the list. It reproduces hand-picked
+// executions such as the out1/out2 traces of Fig. 4.
+type Sequence struct {
+	Etas    []float64
+	Default float64
+}
+
+// Eta returns the n-th recorded choice, clamped.
+func (s Sequence) Eta(eta Eta, ctx Context) float64 {
+	if ctx.N >= 1 && ctx.N <= len(s.Etas) {
+		return eta.Clamp(s.Etas[ctx.N-1])
+	}
+	return eta.Clamp(s.Default)
+}
+
+// Recorder wraps a strategy and records every choice it makes, for test
+// assertions and trace reporting.
+type Recorder struct {
+	Inner   Strategy
+	Choices []float64
+}
+
+// Eta delegates to the inner strategy and records the result.
+func (r *Recorder) Eta(eta Eta, ctx Context) float64 {
+	v := r.Inner.Eta(eta, ctx)
+	r.Choices = append(r.Choices, v)
+	return v
+}

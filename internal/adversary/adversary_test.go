@@ -1,0 +1,185 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var eta = Eta{Plus: 0.2, Minus: 0.1}
+
+func TestEtaValidate(t *testing.T) {
+	good := []Eta{{}, {Plus: 1}, {Minus: 2}, {Plus: 0.5, Minus: 0.5}}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", e, err)
+		}
+	}
+	bad := []Eta{
+		{Plus: -1}, {Minus: -1},
+		{Plus: math.Inf(1)}, {Minus: math.Inf(1)},
+		{Plus: math.NaN()}, {Minus: math.NaN()},
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("Validate(%+v): want error", e)
+		}
+	}
+}
+
+func TestEtaHelpers(t *testing.T) {
+	if !(Eta{}).IsZero() {
+		t.Error("zero interval must report IsZero")
+	}
+	if eta.IsZero() {
+		t.Error("nonzero interval must not report IsZero")
+	}
+	if got := eta.Width(); math.Abs(got-0.3) > 1e-15 {
+		t.Errorf("Width = %g", got)
+	}
+	if eta.Clamp(1) != eta.Plus || eta.Clamp(-1) != -eta.Minus || eta.Clamp(0.05) != 0.05 {
+		t.Error("Clamp wrong")
+	}
+	if !eta.Contains(0) || !eta.Contains(eta.Plus) || !eta.Contains(-eta.Minus) {
+		t.Error("Contains must include bounds")
+	}
+	if eta.Contains(eta.Plus+1e-9) || eta.Contains(-eta.Minus-1e-9) {
+		t.Error("Contains must exclude outside values")
+	}
+}
+
+func TestZeroStrategy(t *testing.T) {
+	if got := (Zero{}).Eta(eta, Context{N: 1, Rising: true}); got != 0 {
+		t.Fatalf("Zero = %g", got)
+	}
+}
+
+func TestWorstCaseStrategies(t *testing.T) {
+	min := MinUpTime{}
+	if got := min.Eta(eta, Context{Rising: true}); got != eta.Plus {
+		t.Errorf("MinUpTime rising = %g want %g", got, eta.Plus)
+	}
+	if got := min.Eta(eta, Context{Rising: false}); got != -eta.Minus {
+		t.Errorf("MinUpTime falling = %g want %g", got, -eta.Minus)
+	}
+	max := MaxUpTime{}
+	if got := max.Eta(eta, Context{Rising: true}); got != -eta.Minus {
+		t.Errorf("MaxUpTime rising = %g want %g", got, -eta.Minus)
+	}
+	if got := max.Eta(eta, Context{Rising: false}); got != eta.Plus {
+		t.Errorf("MaxUpTime falling = %g want %g", got, eta.Plus)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	s := Func(func(e Eta, ctx Context) float64 { return float64(ctx.N) })
+	if got := s.Eta(eta, Context{N: 7}); got != 7 {
+		t.Fatalf("Func = %g", got)
+	}
+}
+
+func TestSequence(t *testing.T) {
+	s := Sequence{Etas: []float64{0.05, -0.05, 99}, Default: -99}
+	if got := s.Eta(eta, Context{N: 1}); got != 0.05 {
+		t.Errorf("n=1: %g", got)
+	}
+	if got := s.Eta(eta, Context{N: 2}); got != -0.05 {
+		t.Errorf("n=2: %g", got)
+	}
+	// Out-of-range recorded value is clamped.
+	if got := s.Eta(eta, Context{N: 3}); got != eta.Plus {
+		t.Errorf("n=3 clamped: %g", got)
+	}
+	// Beyond the list: clamped default.
+	if got := s.Eta(eta, Context{N: 4}); got != -eta.Minus {
+		t.Errorf("n=4 default: %g", got)
+	}
+}
+
+func TestSine(t *testing.T) {
+	s := Sine{Amp: 0.05, Period: 2}
+	if got := s.Eta(eta, Context{At: 0.5}); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("sine peak = %g", got)
+	}
+	if got := s.Eta(eta, Context{At: 1.5}); math.Abs(got+0.05) > 1e-12 {
+		t.Errorf("sine trough = %g", got)
+	}
+	// Amplitude beyond the interval is clamped.
+	big := Sine{Amp: 10, Period: 2}
+	if got := big.Eta(eta, Context{At: 0.5}); got != eta.Plus {
+		t.Errorf("clamped sine = %g", got)
+	}
+	// Zero period degenerates to 0.
+	if got := (Sine{Amp: 1}).Eta(eta, Context{At: 3}); got != 0 {
+		t.Errorf("zero-period sine = %g", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := &Recorder{Inner: MinUpTime{}}
+	r.Eta(eta, Context{Rising: true})
+	r.Eta(eta, Context{Rising: false})
+	if len(r.Choices) != 2 || r.Choices[0] != eta.Plus || r.Choices[1] != -eta.Minus {
+		t.Fatalf("choices = %v", r.Choices)
+	}
+}
+
+func TestQuickAllStrategiesWithinBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := Eta{Plus: r.Float64(), Minus: r.Float64()}
+		strategies := []Strategy{
+			Zero{}, MinUpTime{}, MaxUpTime{},
+			Uniform{Rng: r},
+			Gaussian{Rng: r},
+			Gaussian{Rng: r, Sigma: 2},
+			&RandomWalk{Rng: r, Step: 0.3 * e.Width()},
+			Sine{Amp: 2 * e.Plus, Period: 1.5},
+			Sequence{Etas: []float64{5, -5, 0}},
+		}
+		for i := 0; i < 50; i++ {
+			ctx := Context{N: i + 1, At: r.Float64() * 10, T: r.NormFloat64(), Rising: i%2 == 0}
+			for _, s := range strategies {
+				if !e.Contains(s.Eta(e, ctx)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWalkIsSlowlyVarying(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	w := &RandomWalk{Rng: r, Step: 0.01}
+	prev := w.Eta(eta, Context{N: 1})
+	for i := 2; i <= 1000; i++ {
+		cur := w.Eta(eta, Context{N: i})
+		if math.Abs(cur-prev) > 2*0.01+1e-12 {
+			t.Fatalf("step %d jumped by %g", i, math.Abs(cur-prev))
+		}
+		if !eta.Contains(cur) {
+			t.Fatalf("step %d out of bounds: %g", i, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestUniformCoversInterval(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	u := Uniform{Rng: r}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 2000; i++ {
+		v := u.Eta(eta, Context{})
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > -eta.Minus+0.01 || hi < eta.Plus-0.01 {
+		t.Fatalf("uniform does not cover interval: [%g, %g]", lo, hi)
+	}
+}

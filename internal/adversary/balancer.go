@@ -1,0 +1,34 @@
+package adversary
+
+import "involution/internal/delay"
+
+// Balancer is an adaptive adversary that steers a feedback loop's pulse
+// train toward a target up-time: it leaves rising transitions unperturbed
+// and, on each falling transition, solves for the η that pins the output
+// pulse width to Target (clamped to the admissible interval).
+//
+// In sharp contrast to standard involution channels — where only a single
+// critical input pulse length yields an infinite pulse train — an
+// η-adversary can sustain infinite trains for a whole *range* of input
+// pulse lengths (Section IV: "there is a range of values for Δ₀ that may
+// lead to a whole range of infinite pulse trains"). Balancer realizes that
+// behavior constructively, which makes it a stress adversary for
+// verification: it maximizes the time a storage loop stays undecided.
+type Balancer struct {
+	Pair   delay.Pair // the channel's delay functions (needed to invert the fall delay)
+	Target float64    // desired output up-time
+}
+
+// Eta returns 0 for rising transitions; for falling transitions it returns
+// the clamped correction that would make the falling output transition
+// land exactly Target after the previous rising output transition.
+func (b Balancer) Eta(eta Eta, ctx Context) float64 {
+	if ctx.Rising {
+		return 0
+	}
+	base := b.Pair.Down.Eval(ctx.T)
+	// Previous (rising) output transition time: rise = ctx.At − ctx.T, and
+	// the uncorrected fall lands at ctx.At + base. Want
+	// rise + Target = ctx.At + base + η.
+	return eta.Clamp(b.Target - ctx.T - base)
+}

@@ -1,0 +1,42 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"involution/internal/delay"
+)
+
+func TestBalancerRisingUnperturbed(t *testing.T) {
+	pair := delay.MustExp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	b := Balancer{Pair: pair, Target: 0.4}
+	if got := b.Eta(Eta{Plus: 0.1, Minus: 0.1}, Context{Rising: true, T: 0.3}); got != 0 {
+		t.Fatalf("rising η = %g", got)
+	}
+}
+
+func TestBalancerPinsFallWidth(t *testing.T) {
+	pair := delay.MustExp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	target := 0.4
+	b := Balancer{Pair: pair, Target: target}
+	bigEta := Eta{Plus: 10, Minus: 10} // no clamping
+	// A falling input transition at offset T from the previous (rising)
+	// output: the corrected fall must land exactly Target after it.
+	for _, T := range []float64{-0.3, 0, 0.5} {
+		etaV := b.Eta(bigEta, Context{Rising: false, T: T, At: 7})
+		rise := 7 - T
+		fall := 7 + pair.Down.Eval(T) + etaV
+		if math.Abs(fall-rise-target) > 1e-12 {
+			t.Errorf("T=%g: pinned width %g want %g", T, fall-rise, target)
+		}
+	}
+}
+
+func TestBalancerClamps(t *testing.T) {
+	pair := delay.MustExp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	b := Balancer{Pair: pair, Target: 100} // absurd target: needs huge η
+	eta := Eta{Plus: 0.05, Minus: 0.05}
+	if got := b.Eta(eta, Context{Rising: false, T: 0.2}); got != eta.Plus {
+		t.Fatalf("clamped η = %g want %g", got, eta.Plus)
+	}
+}

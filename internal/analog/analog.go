@@ -1,0 +1,371 @@
+// Package analog is the measurement substrate substituting for the UMC-90
+// custom ASIC (Fig. 6) and the UMC-65 Spice simulations of Section V: a
+// behavioral analog model of CMOS inverters producing continuous output
+// waveforms from binary input signals, with perturbable supply voltage
+// (Fig. 8a), transistor width (Fig. 8b/c) and an alpha-power-law drive
+// dependence on the supply (Fig. 7).
+//
+// Two inverter models are provided. FirstOrder is a threshold-plus-RC
+// response whose crossing times form exactly an exp-channel involution —
+// it serves as a ground-truth check of the measurement pipeline.
+// SecondOrder adds a cascaded output stage, making the measured delay
+// function deliberately *not* an involution, so the deviation-versus-η-band
+// methodology of Section V is exercised the same way as with silicon data.
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"involution/internal/signal"
+)
+
+// Supply models the (normalized) supply voltage over time; the nominal
+// value is 1.0.
+type Supply interface {
+	V(t float64) float64
+	// Nominal returns the nominal (unperturbed) level, used to scale
+	// digital thresholds.
+	Nominal() float64
+}
+
+// ConstSupply is a constant supply.
+type ConstSupply struct {
+	V0 float64
+}
+
+// V returns the constant level.
+func (s ConstSupply) V(float64) float64 { return s.V0 }
+
+// Nominal returns the constant level.
+func (s ConstSupply) Nominal() float64 { return s.V0 }
+
+// SineSupply superimposes a sine on a constant supply — the 1 % supply
+// variation experiment of Fig. 8a.
+type SineSupply struct {
+	V0     float64
+	Amp    float64
+	Period float64
+	Phase  float64 // radians
+}
+
+// V evaluates the supply at time t.
+func (s SineSupply) V(t float64) float64 {
+	return s.V0 + s.Amp*math.Sin(2*math.Pi*t/s.Period+s.Phase)
+}
+
+// Nominal returns the unperturbed level V0.
+func (s SineSupply) Nominal() float64 { return s.V0 }
+
+// Model selects the inverter response order.
+type Model int
+
+// Inverter response models.
+const (
+	// FirstOrder: single RC stage — crossing times form an exp-channel.
+	FirstOrder Model = iota
+	// SecondOrder: cascaded RC stages — not an involution.
+	SecondOrder
+)
+
+// Inverter is a behavioral CMOS inverter.
+type Inverter struct {
+	Model Model
+	Tau   float64 // nominal output RC constant
+	Tau2  float64 // second-stage constant (SecondOrder only)
+	TP    float64 // pure input-to-drive delay
+	VthIn float64 // input switching threshold (fraction of nominal supply)
+	Width float64 // transistor width scale; 1 = nominal (Fig. 8b/c: 1.1 / 0.9)
+	Alpha float64 // alpha-power-law exponent of the drive current (default 1.3)
+	VT    float64 // transistor threshold voltage, normalized (default 0.27)
+	Sup   Supply  // supply model (default ConstSupply{1})
+
+	// TailW/TailTau add a weak, very slow pole (long-term charge-storage
+	// memory): the observed output is (1−TailW)·v + TailW·y with y a
+	// first-order response of constant TailTau. Real delay functions keep
+	// creeping at large T because of such tails, which is what makes
+	// exp-channel fits deviate there (Fig. 9). TailW = 0 disables it.
+	TailW   float64
+	TailTau float64
+}
+
+// withDefaults fills zero fields.
+func (inv Inverter) withDefaults() Inverter {
+	if inv.Width == 0 {
+		inv.Width = 1
+	}
+	if inv.Alpha == 0 {
+		inv.Alpha = 1.3
+	}
+	if inv.VT == 0 {
+		inv.VT = 0.27
+	}
+	if inv.VthIn == 0 {
+		inv.VthIn = 0.5
+	}
+	if inv.Sup == nil {
+		inv.Sup = ConstSupply{V0: 1}
+	}
+	if inv.Model == SecondOrder && inv.Tau2 == 0 {
+		inv.Tau2 = inv.Tau / 3
+	}
+	if inv.TailW > 0 && inv.TailTau == 0 {
+		inv.TailTau = 10 * inv.Tau
+	}
+	return inv
+}
+
+// Validate checks the parameters.
+func (inv Inverter) Validate() error {
+	inv = inv.withDefaults()
+	if !(inv.Tau > 0) {
+		return fmt.Errorf("analog: τ = %g must be positive", inv.Tau)
+	}
+	if inv.Model == SecondOrder && !(inv.Tau2 > 0) {
+		return fmt.Errorf("analog: τ₂ = %g must be positive", inv.Tau2)
+	}
+	if inv.TP < 0 {
+		return fmt.Errorf("analog: Tp = %g must be ≥ 0", inv.TP)
+	}
+	if !(inv.VthIn > 0 && inv.VthIn < 1) {
+		return fmt.Errorf("analog: Vth = %g must be in (0,1)", inv.VthIn)
+	}
+	if !(inv.Width > 0) {
+		return fmt.Errorf("analog: width scale %g must be positive", inv.Width)
+	}
+	if inv.TailW < 0 || inv.TailW >= 1 {
+		return fmt.Errorf("analog: tail weight %g must be in [0,1)", inv.TailW)
+	}
+	if inv.TailW > 0 && !(inv.TailTau > 0) {
+		return fmt.Errorf("analog: tail constant %g must be positive", inv.TailTau)
+	}
+	return nil
+}
+
+// drive returns the normalized drive-strength factor at supply v: the
+// alpha-power law ((v − VT)/(1 − VT))^α, clamped at 0 below the transistor
+// threshold.
+func (inv Inverter) drive(v float64) float64 {
+	if v <= inv.VT {
+		return 0
+	}
+	return inv.Width * math.Pow((v-inv.VT)/(1-inv.VT), inv.Alpha)
+}
+
+// Waveform is a uniformly sampled analog trace.
+type Waveform struct {
+	T0 float64   // time of the first sample
+	Dt float64   // sample spacing
+	V  []float64 // samples
+}
+
+// Time returns the time of sample i.
+func (w Waveform) Time(i int) float64 { return w.T0 + float64(i)*w.Dt }
+
+// At linearly interpolates the waveform at time t (clamped to the range).
+func (w Waveform) At(t float64) float64 {
+	if len(w.V) == 0 {
+		return 0
+	}
+	x := (t - w.T0) / w.Dt
+	if x <= 0 {
+		return w.V[0]
+	}
+	if x >= float64(len(w.V)-1) {
+		return w.V[len(w.V)-1]
+	}
+	i := int(x)
+	f := x - float64(i)
+	return w.V[i]*(1-f) + w.V[i+1]*f
+}
+
+// Crossings extracts the digital signal seen by a comparator with threshold
+// vth: a rising transition where the waveform crosses vth upward, falling
+// where downward, with sub-sample linear interpolation of crossing times.
+func (w Waveform) Crossings(vth float64) (signal.Signal, error) {
+	initial := signal.Low
+	if len(w.V) > 0 && w.V[0] >= vth {
+		initial = signal.High
+	}
+	var times []float64
+	cur := initial
+	for i := 1; i < len(w.V); i++ {
+		prev, next := w.V[i-1], w.V[i]
+		var crossed bool
+		var to signal.Value
+		if cur == signal.Low && prev < vth && next >= vth {
+			crossed, to = true, signal.High
+		} else if cur == signal.High && prev > vth && next <= vth {
+			crossed, to = true, signal.Low
+		}
+		if !crossed {
+			continue
+		}
+		f := (vth - prev) / (next - prev)
+		times = append(times, w.T0+(float64(i-1)+f)*w.Dt)
+		cur = to
+	}
+	return signal.FromEdges(initial, times...)
+}
+
+// Simulate integrates the inverter's response to the binary input signal
+// from t = 0 to horizon with step dt and returns the output waveform. The
+// output starts at its DC value for the input's initial value.
+func (inv Inverter) Simulate(in signal.Signal, horizon, dt float64) (Waveform, error) {
+	inv = inv.withDefaults()
+	if err := inv.Validate(); err != nil {
+		return Waveform{}, err
+	}
+	if !(dt > 0) || !(horizon > dt) {
+		return Waveform{}, fmt.Errorf("analog: invalid dt=%g horizon=%g", dt, horizon)
+	}
+	n := int(horizon/dt) + 1
+	w := Waveform{T0: 0, Dt: dt, V: make([]float64, n)}
+
+	// DC initial condition.
+	v0 := 0.0
+	if in.At(0) == signal.Low {
+		v0 = inv.Sup.V(0)
+	}
+	x, v, y := v0, v0, v0
+
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		if inv.TailW > 0 {
+			w.V[i] = (1-inv.TailW)*v + inv.TailW*y
+		} else {
+			w.V[i] = v
+		}
+		// Drive direction from the (pure-delayed) binary input. Charging
+		// pulls from the (possibly noisy) supply; discharging goes through
+		// the pull-down network, whose strength does not depend on the
+		// supply rail — this is why the paper's Fig. 8a sees far smaller
+		// deviations on δ↑ (the falling inverter output) than on δ↓.
+		vdd := inv.Sup.V(t)
+		target := 0.0
+		k := inv.drive(inv.Sup.Nominal())
+		if in.At(t-inv.TP) == signal.Low {
+			target = vdd
+			k = inv.drive(vdd)
+		}
+		switch inv.Model {
+		case FirstOrder:
+			// Exponential Euler: exact for piecewise-constant target.
+			v += (target - v) * -math.Expm1(-k*dt/inv.Tau)
+		case SecondOrder:
+			x += (target - x) * -math.Expm1(-k*dt/inv.Tau)
+			v += (x - v) * -math.Expm1(-dt/inv.Tau2)
+		}
+		if inv.TailW > 0 {
+			y += (target - y) * -math.Expm1(-k*dt/inv.TailTau)
+		}
+	}
+	return w, nil
+}
+
+// Chain is a cascade of inverters (the 7-stage chain of the UMC-90 ASIC).
+type Chain struct {
+	Stages []Inverter
+}
+
+// NewChain returns a chain of n identical stages.
+func NewChain(n int, stage Inverter) Chain {
+	st := make([]Inverter, n)
+	for i := range st {
+		st[i] = stage
+	}
+	return Chain{Stages: st}
+}
+
+// Simulate integrates the full chain: each stage's drive direction switches
+// when its predecessor's analog output crosses the stage input threshold.
+// It returns one waveform per stage, emulating the per-stage sense
+// amplifiers of the ASIC.
+func (c Chain) Simulate(in signal.Signal, horizon, dt float64) ([]Waveform, error) {
+	if len(c.Stages) == 0 {
+		return nil, fmt.Errorf("analog: empty chain")
+	}
+	stages := make([]Inverter, len(c.Stages))
+	for i, s := range c.Stages {
+		stages[i] = s.withDefaults()
+		if err := stages[i].Validate(); err != nil {
+			return nil, fmt.Errorf("analog: stage %d: %w", i, err)
+		}
+	}
+	if !(dt > 0) || !(horizon > dt) {
+		return nil, fmt.Errorf("analog: invalid dt=%g horizon=%g", dt, horizon)
+	}
+	n := int(horizon/dt) + 1
+	ws := make([]Waveform, len(stages))
+	for i := range ws {
+		ws[i] = Waveform{T0: 0, Dt: dt, V: make([]float64, n)}
+	}
+
+	// DC initial conditions along the chain.
+	x := make([]float64, len(stages))
+	v := make([]float64, len(stages))
+	logical := in.Initial()
+	for i, s := range stages {
+		if logical == signal.Low {
+			v[i] = s.Sup.V(0)
+		}
+		x[i] = v[i]
+		logical = logical.Not()
+	}
+
+	// Per-stage delayed binary drive inputs: each stage thresholds its
+	// predecessor's waveform; the pure delay Tp is realized with a small
+	// ring buffer of past drive decisions.
+	delaySteps := make([]int, len(stages))
+	hist := make([][]bool, len(stages)) // true = input high
+	for i, s := range stages {
+		delaySteps[i] = int(math.Round(s.TP / dt))
+		hist[i] = make([]bool, delaySteps[i]+1)
+		// Seed history with the DC input of this stage.
+		var inHigh bool
+		if i == 0 {
+			inHigh = in.Initial() == signal.High
+		} else {
+			inHigh = v[i-1] >= stages[i].VthIn
+		}
+		for j := range hist[i] {
+			hist[i][j] = inHigh
+		}
+	}
+
+	for step := 0; step < n; step++ {
+		t := float64(step) * dt
+		for i := range stages {
+			ws[i].V[step] = v[i]
+		}
+		for i, s := range stages {
+			var inHigh bool
+			if i == 0 {
+				inHigh = in.At(t) == signal.High
+			} else {
+				inHigh = v[i-1] >= s.VthIn*s.Sup.V(t)
+			}
+			// Rotate the pure-delay history.
+			h := hist[i]
+			copy(h, h[1:])
+			h[len(h)-1] = inHigh
+			driven := h[0]
+
+			vdd := s.Sup.V(t)
+			target := 0.0
+			k := s.drive(s.Sup.Nominal())
+			if !driven {
+				target = vdd
+				k = s.drive(vdd)
+			}
+			switch s.Model {
+			case FirstOrder:
+				v[i] += (target - v[i]) * -math.Expm1(-k*dt/s.Tau)
+			case SecondOrder:
+				x[i] += (target - x[i]) * -math.Expm1(-k*dt/s.Tau)
+				v[i] += (x[i] - v[i]) * -math.Expm1(-dt/s.Tau2)
+			}
+		}
+	}
+	return ws, nil
+}

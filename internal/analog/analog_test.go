@@ -1,0 +1,374 @@
+package analog
+
+import (
+	"math"
+	"testing"
+
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+func TestSupplies(t *testing.T) {
+	c := ConstSupply{V0: 1.2}
+	if c.V(0) != 1.2 || c.V(99) != 1.2 {
+		t.Error("const supply wrong")
+	}
+	s := SineSupply{V0: 1, Amp: 0.01, Period: 2}
+	if math.Abs(s.V(0.5)-1.01) > 1e-12 {
+		t.Errorf("sine peak %g", s.V(0.5))
+	}
+	if math.Abs(s.V(1.5)-0.99) > 1e-12 {
+		t.Errorf("sine trough %g", s.V(1.5))
+	}
+}
+
+func TestInverterValidate(t *testing.T) {
+	if err := (Inverter{Tau: 1}).Validate(); err != nil {
+		t.Errorf("defaults must validate: %v", err)
+	}
+	bad := []Inverter{
+		{Tau: 0},
+		{Tau: 1, TP: -1},
+		{Tau: 1, VthIn: 1.5},
+		{Tau: 1, Width: -1},
+	}
+	for _, inv := range bad {
+		if err := inv.Validate(); err == nil {
+			t.Errorf("Validate(%+v): want error", inv)
+		}
+	}
+}
+
+func TestSimulateDCLevels(t *testing.T) {
+	inv := Inverter{Model: FirstOrder, Tau: 1, TP: 0.1}
+	// Constant-low input: output stays at VDD.
+	w, err := inv.Simulate(signal.Zero(), 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.At(5)-1) > 1e-9 {
+		t.Errorf("DC high output %g", w.At(5))
+	}
+	// Constant-high input: output stays at 0.
+	w, err = inv.Simulate(signal.Const(signal.High), 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.At(5)) > 1e-9 {
+		t.Errorf("DC low output %g", w.At(5))
+	}
+}
+
+func TestSimulateStepResponseMatchesRC(t *testing.T) {
+	// After a rising input step at time s, the first-order output
+	// discharges as e^{−(t−s−Tp)/τ}.
+	inv := Inverter{Model: FirstOrder, Tau: 0.8, TP: 0.2}
+	step := signal.MustNew(signal.Low, signal.Transition{At: 2, To: signal.High})
+	w, err := inv.Simulate(step, 10, 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []float64{0.3, 0.8, 1.5} {
+		want := math.Exp(-dt / inv.Tau)
+		got := w.At(2 + inv.TP + dt)
+		if math.Abs(got-want) > 2e-3 {
+			t.Errorf("discharge at +%g: %g want %g", dt, got, want)
+		}
+	}
+}
+
+func TestWaveformAtAndCrossings(t *testing.T) {
+	w := Waveform{T0: 0, Dt: 1, V: []float64{0, 1, 0}}
+	if got := w.At(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(0.5) = %g", got)
+	}
+	if got := w.At(-5); got != 0 {
+		t.Errorf("At before range = %g", got)
+	}
+	if got := w.At(99); got != 0 {
+		t.Errorf("At after range = %g", got)
+	}
+	sig, err := w.Crossings(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Initial() != signal.Low || sig.Len() != 2 {
+		t.Fatalf("crossings %v", sig)
+	}
+	if math.Abs(sig.Transition(0).At-0.5) > 1e-12 || math.Abs(sig.Transition(1).At-1.5) > 1e-12 {
+		t.Fatalf("crossing times %v", sig)
+	}
+	// Initially-high waveform.
+	w2 := Waveform{T0: 0, Dt: 1, V: []float64{1, 0}}
+	sig2, err := w2.Crossings(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig2.Initial() != signal.High || sig2.Len() != 1 || sig2.Final() != signal.Low {
+		t.Fatalf("crossings %v", sig2)
+	}
+	// Empty waveform is constant low.
+	if s, err := (Waveform{}).Crossings(0.5); err != nil || !s.IsZero() {
+		t.Fatalf("empty waveform: %v %v", s, err)
+	}
+}
+
+func TestFirstOrderIsExpChannel(t *testing.T) {
+	// The measured delay function of the first-order inverter must match
+	// the analytic exp-channel: measuring with comparator threshold v
+	// yields the exp-channel with Vth = 1 − v (the channel rising branch
+	// is the inverter's discharge).
+	inv := Inverter{Model: FirstOrder, Tau: 1, TP: 0.2}
+	cfg := MeasureConfig{
+		Widths:  delay.Linspace(0.8, 4, 9),
+		Gaps:    delay.Linspace(0.8, 4, 5),
+		VthMeas: 0.4,
+	}
+	m, err := Measure(inv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Up) < 20 || len(m.Down) < 20 {
+		t.Fatalf("too few samples: %d up %d down (skipped %d)", len(m.Up), len(m.Down), m.Skipped)
+	}
+	pair := delay.MustExp(delay.ExpParams{Tau: 1, TP: 0.2, Vth: 1 - cfg.VthMeas})
+	for _, s := range m.Up {
+		want := pair.Up.Eval(s.T)
+		if math.Abs(s.Delta-want) > 2e-3 {
+			t.Errorf("δ↑(%g) = %g want %g", s.T, s.Delta, want)
+		}
+	}
+	for _, s := range m.Down {
+		want := pair.Down.Eval(s.T)
+		if math.Abs(s.Delta-want) > 2e-3 {
+			t.Errorf("δ↓(%g) = %g want %g", s.T, s.Delta, want)
+		}
+	}
+}
+
+func TestMeasureParallelDeterminism(t *testing.T) {
+	// The measurement must be bit-identical regardless of worker count:
+	// results are merged in stimulus order.
+	inv := Inverter{Model: SecondOrder, Tau: 1, Tau2: 0.3, TP: 0.2}
+	base := MeasureConfig{
+		Widths: delay.Linspace(0.9, 3, 5),
+		Gaps:   delay.Linspace(0.9, 3, 3),
+	}
+	cfg1 := base
+	cfg1.Workers = 1
+	cfg4 := base
+	cfg4.Workers = 4
+	m1, err := Measure(inv, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := Measure(inv, cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Up) != len(m4.Up) || len(m1.Down) != len(m4.Down) || m1.Skipped != m4.Skipped {
+		t.Fatalf("shape differs: %d/%d/%d vs %d/%d/%d",
+			len(m1.Up), len(m1.Down), m1.Skipped, len(m4.Up), len(m4.Down), m4.Skipped)
+	}
+	for i := range m1.Up {
+		if m1.Up[i] != m4.Up[i] {
+			t.Fatalf("up sample %d differs: %+v vs %+v", i, m1.Up[i], m4.Up[i])
+		}
+	}
+	for i := range m1.Down {
+		if m1.Down[i] != m4.Down[i] {
+			t.Fatalf("down sample %d differs: %+v vs %+v", i, m1.Down[i], m4.Down[i])
+		}
+	}
+}
+
+func TestDeltaInf(t *testing.T) {
+	inv := Inverter{Model: FirstOrder, Tau: 1, TP: 0.2}
+	up, down, err := DeltaInf(inv, MeasureConfig{VthMeas: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := delay.ExpParams{Tau: 1, TP: 0.2, Vth: 0.6}
+	if math.Abs(up-p.UpLimit()) > 2e-3 {
+		t.Errorf("δ↑∞ = %g want %g", up, p.UpLimit())
+	}
+	if math.Abs(down-p.DownLimit()) > 2e-3 {
+		t.Errorf("δ↓∞ = %g want %g", down, p.DownLimit())
+	}
+}
+
+func TestNarrowPulseSuppressedInAnalog(t *testing.T) {
+	// A pulse much narrower than the RC constant never reaches the
+	// comparator threshold: the measurement skips it.
+	inv := Inverter{Model: FirstOrder, Tau: 1, TP: 0.2}
+	m, err := Measure(inv, MeasureConfig{Widths: []float64{0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Skipped != 1 || len(m.Up)+len(m.Down) != 0 {
+		t.Fatalf("narrow pulse must be skipped: %+v", m)
+	}
+}
+
+func TestSecondOrderDiffersFromFirstOrder(t *testing.T) {
+	first := Inverter{Model: FirstOrder, Tau: 1, TP: 0.2}
+	second := Inverter{Model: SecondOrder, Tau: 1, Tau2: 0.3, TP: 0.2}
+	cfg := MeasureConfig{Widths: delay.Linspace(1.0, 4, 7)}
+	m1, err := Measure(first, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Measure(second, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Down) == 0 || len(m1.Down) != len(m2.Down) {
+		t.Fatalf("sample counts differ: %d vs %d", len(m1.Down), len(m2.Down))
+	}
+	var maxDiff float64
+	for i := range m1.Down {
+		maxDiff = math.Max(maxDiff, math.Abs(m1.Down[i].Delta-m2.Down[i].Delta))
+	}
+	if maxDiff < 0.01 {
+		t.Fatalf("second-order model too close to first order: max diff %g", maxDiff)
+	}
+}
+
+func TestWidthScalingSpeedsUp(t *testing.T) {
+	// Wider transistors (Fig. 8b) drive harder and reduce delays; narrower
+	// ones (Fig. 8c) increase them.
+	nominal := Inverter{Model: FirstOrder, Tau: 1, TP: 0.2}
+	wide := nominal
+	wide.Width = 1.1
+	narrow := nominal
+	narrow.Width = 0.9
+	cfg := MeasureConfig{Widths: []float64{3}}
+	dn, _, err := DeltaInf(nominal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, _, err := DeltaInf(wide, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, _, err := DeltaInf(narrow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dw < dn && dn < dr) {
+		t.Fatalf("width ordering wrong: wide %g nominal %g narrow %g", dw, dn, dr)
+	}
+}
+
+func TestLowerSupplySlowsDown(t *testing.T) {
+	// Fig. 7: lower VDD → weaker drive → larger delays.
+	mk := func(v float64) Inverter {
+		return Inverter{Model: FirstOrder, Tau: 1, TP: 0.2, Sup: ConstSupply{V0: v}}
+	}
+	var prev float64
+	for i, v := range []float64{1.0, 0.8, 0.6, 0.4} {
+		up, _, err := DeltaInf(mk(v), MeasureConfig{Settle: 40, Tail: 60, Dt: 1.0 / 400})
+		if err != nil {
+			t.Fatalf("VDD %g: %v", v, err)
+		}
+		if i > 0 && up <= prev {
+			t.Fatalf("VDD %g: delay %g not larger than %g", v, up, prev)
+		}
+		prev = up
+	}
+}
+
+func TestChainPropagatesAndInverts(t *testing.T) {
+	stage := Inverter{Model: FirstOrder, Tau: 0.5, TP: 0.1}
+	chain := NewChain(7, stage)
+	in := signal.MustPulse(5, 8)
+	ws, err := chain.Simulate(in, 40, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 7 {
+		t.Fatalf("want 7 stage waveforms, got %d", len(ws))
+	}
+	prevRise := 5.0
+	for i, w := range ws {
+		sig, err := w.Crossings(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.Len() != 2 {
+			t.Fatalf("stage %d: %d crossings (%v)", i, sig.Len(), sig)
+		}
+		// Odd stages are inverted w.r.t. the input, even stages match.
+		wantInitial := signal.High
+		if i%2 == 1 {
+			wantInitial = signal.Low
+		}
+		if sig.Initial() != wantInitial {
+			t.Fatalf("stage %d initial %v", i, sig.Initial())
+		}
+		// Monotonically increasing arrival times along the chain.
+		if sig.Transition(0).At <= prevRise {
+			t.Fatalf("stage %d transition at %g not after %g", i, sig.Transition(0).At, prevRise)
+		}
+		prevRise = sig.Transition(0).At
+	}
+}
+
+func TestChainAttenuatesGlitch(t *testing.T) {
+	// A pulse near the attenuation limit shrinks from stage to stage and
+	// eventually vanishes — the physical behavior the involution model
+	// captures (and bounded models cannot).
+	stage := Inverter{Model: FirstOrder, Tau: 0.5, TP: 0.1}
+	chain := NewChain(7, stage)
+	in := signal.MustPulse(5, 0.42)
+	ws, err := chain.Simulate(in, 30, 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := make([]float64, 0, len(ws))
+	for _, w := range ws {
+		sig, err := w.Crossings(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.Len() == 0 {
+			break // glitch died here
+		}
+		if sig.Len() != 2 {
+			t.Fatalf("unexpected crossing count %d", sig.Len())
+		}
+		widths = append(widths, sig.Transition(1).At-sig.Transition(0).At)
+	}
+	if len(widths) == len(ws) {
+		t.Fatalf("glitch survived the whole chain: widths %v", widths)
+	}
+	for i := 1; i < len(widths); i++ {
+		if widths[i] >= widths[i-1] {
+			t.Fatalf("glitch not attenuated at stage %d: %v", i, widths)
+		}
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := (Chain{}).Simulate(signal.Zero(), 1, 0.1); err == nil {
+		t.Error("empty chain must fail")
+	}
+	bad := NewChain(2, Inverter{Tau: -1})
+	if _, err := bad.Simulate(signal.Zero(), 1, 0.1); err == nil {
+		t.Error("invalid stage must fail")
+	}
+	good := NewChain(2, Inverter{Tau: 1})
+	if _, err := good.Simulate(signal.Zero(), 1, -0.1); err == nil {
+		t.Error("invalid dt must fail")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	inv := Inverter{Tau: 1}
+	if _, err := inv.Simulate(signal.Zero(), 1, 0); err == nil {
+		t.Error("zero dt must fail")
+	}
+	if _, err := inv.Simulate(signal.Zero(), 0.1, 1); err == nil {
+		t.Error("horizon < dt must fail")
+	}
+}

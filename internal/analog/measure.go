@@ -1,0 +1,184 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+// MeasureConfig drives the delay-extraction sweeps of Section V: the
+// inverter is excited by a pulse followed by a gap ("two-pulse" stimulus),
+// and the threshold crossings of the analog output are converted to
+// previous-output-to-input offsets T and input-to-output delays δ.
+type MeasureConfig struct {
+	Widths  []float64 // first (high) pulse widths, sweeping T for δ↓
+	Gaps    []float64 // following low gaps, sweeping T for δ↑ (may be nil)
+	Settle  float64   // stable time before the first transition
+	Tail    float64   // extra simulated time after the last transition
+	Dt      float64   // integration step
+	VthMeas float64   // comparator threshold (fraction of nominal supply); default 0.5
+	// Workers bounds the number of stimuli integrated concurrently
+	// (default GOMAXPROCS). Results are merged in stimulus order, so the
+	// measurement is deterministic regardless of parallelism.
+	Workers int
+}
+
+func (cfg MeasureConfig) withDefaults(inv Inverter) MeasureConfig {
+	if cfg.Settle == 0 {
+		cfg.Settle = 20 * inv.Tau
+	}
+	if cfg.Tail == 0 {
+		cfg.Tail = 20 * inv.Tau
+	}
+	if cfg.Dt == 0 {
+		cfg.Dt = inv.Tau / 400
+	}
+	if cfg.VthMeas == 0 {
+		cfg.VthMeas = 0.5
+	}
+	return cfg
+}
+
+// Measurement is the outcome of a delay sweep: per-branch (T, δ) samples of
+// the inverter's channel abstraction. Following the paper's convention the
+// inverter is decomposed into a channel followed by a NOT, so the δ↑ branch
+// describes rising *input* transitions (falling measured output) and δ↓
+// falling input transitions.
+type Measurement struct {
+	Up   []delay.Sample // δ↑ branch: (T, δ) of rising input transitions
+	Down []delay.Sample // δ↓ branch: falling input transitions
+	// Skipped counts stimuli whose analog response suppressed a crossing
+	// (too narrow a pulse), which yield no sample.
+	Skipped int
+}
+
+// Measure runs the sweep against a single inverter, integrating stimuli on
+// up to cfg.Workers goroutines. Results are merged in stimulus order, so
+// the outcome is independent of the parallelism.
+func Measure(inv Inverter, cfg MeasureConfig) (Measurement, error) {
+	inv = inv.withDefaults()
+	cfg = cfg.withDefaults(inv)
+	if len(cfg.Widths) == 0 {
+		return Measurement{}, fmt.Errorf("analog: measurement needs at least one pulse width")
+	}
+	gaps := cfg.Gaps
+	if len(gaps) == 0 {
+		gaps = []float64{0} // single-pulse stimuli only
+	}
+	type job struct{ w, g float64 }
+	jobs := make([]job, 0, len(cfg.Widths)*len(gaps))
+	for _, w := range cfg.Widths {
+		for _, g := range gaps {
+			jobs = append(jobs, job{w, g})
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	parts := make([]Measurement, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				errs[idx] = parts[idx].measureOne(inv, cfg, jobs[idx].w, jobs[idx].g)
+			}
+		}()
+	}
+	for idx := range jobs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	var m Measurement
+	for idx := range jobs {
+		if errs[idx] != nil {
+			return m, errs[idx]
+		}
+		m.Up = append(m.Up, parts[idx].Up...)
+		m.Down = append(m.Down, parts[idx].Down...)
+		m.Skipped += parts[idx].Skipped
+	}
+	return m, nil
+}
+
+// measureOne excites with rise@Settle, fall@Settle+w and (if g > 0)
+// rise@Settle+w+g, and harvests the resulting samples.
+func (m *Measurement) measureOne(inv Inverter, cfg MeasureConfig, w, g float64) error {
+	times := []float64{cfg.Settle, cfg.Settle + w}
+	if g > 0 {
+		times = append(times, cfg.Settle+w+g)
+	}
+	in, err := signal.FromEdges(signal.Low, times...)
+	if err != nil {
+		return err
+	}
+	horizon := times[len(times)-1] + cfg.Tail
+	wave, err := inv.Simulate(in, horizon, cfg.Dt)
+	if err != nil {
+		return err
+	}
+	digital, err := wave.Crossings(cfg.VthMeas * inv.Sup.Nominal())
+	if err != nil {
+		return err
+	}
+	// Channel output = inverted measured output: same transition times.
+	if digital.Len() != in.Len() {
+		m.Skipped++
+		return nil
+	}
+	prevOut := math.Inf(-1)
+	for i := 0; i < in.Len(); i++ {
+		tIn := in.Transition(i).At
+		tOut := digital.Transition(i).At
+		sample := delay.Sample{T: tIn - prevOut, Delta: tOut - tIn}
+		if !math.IsInf(sample.T, 1) { // skip the T = ∞ first transition
+			if in.Transition(i).Rising() {
+				m.Up = append(m.Up, sample)
+			} else {
+				m.Down = append(m.Down, sample)
+			}
+		}
+		prevOut = tOut
+	}
+	return nil
+}
+
+// DeltaInf measures the saturation delays (δ↑∞, δ↓∞) of the inverter's
+// channel abstraction from a well-separated pulse.
+func DeltaInf(inv Inverter, cfg MeasureConfig) (upInf, downInf float64, err error) {
+	inv = inv.withDefaults()
+	cfg = cfg.withDefaults(inv)
+	long := 40 * inv.Tau
+	in, err := signal.FromEdges(signal.Low, cfg.Settle, cfg.Settle+long)
+	if err != nil {
+		return 0, 0, err
+	}
+	wave, err := inv.Simulate(in, cfg.Settle+2*long, cfg.Dt)
+	if err != nil {
+		return 0, 0, err
+	}
+	digital, err := wave.Crossings(cfg.VthMeas * inv.Sup.Nominal())
+	if err != nil {
+		return 0, 0, err
+	}
+	if digital.Len() != 2 {
+		return 0, 0, fmt.Errorf("analog: saturation stimulus produced %d crossings", digital.Len())
+	}
+	upInf = digital.Transition(0).At - in.Transition(0).At
+	downInf = digital.Transition(1).At - in.Transition(1).At
+	return upInf, downInf, nil
+}

@@ -1,0 +1,257 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/signal"
+)
+
+// Pure is a pure-delay channel: every transition is propagated after the
+// constant transport delay D. Pure delay channels never cancel transitions.
+type Pure struct {
+	D float64
+}
+
+// NewPure validates and returns a pure-delay channel.
+func NewPure(d float64) (Pure, error) {
+	if !(d > 0) || math.IsInf(d, 0) {
+		return Pure{}, fmt.Errorf("channel: pure delay %g must be positive and finite", d)
+	}
+	return Pure{D: d}, nil
+}
+
+// Apply shifts every transition by D.
+func (p Pure) Apply(s signal.Signal) (signal.Signal, error) {
+	return applySingleHistory(s, func(t float64, _ bool) float64 { return t + p.D })
+}
+
+// NewInstance returns online state.
+func (p Pure) NewInstance() Instance {
+	return newHistoryInstance(func(t float64, _ bool) float64 { return t + p.D })
+}
+
+// String names the model.
+func (p Pure) String() string { return fmt.Sprintf("pure(D=%g)", p.D) }
+
+// Inertial is an inertial-delay channel (Unger 1971): an input transition
+// proceeds to the output after delay D only if no subsequent opposite input
+// transition occurs within the window W; otherwise both transitions are
+// absorbed. W ≤ D is required (as in VHDL, where W defaults to D), so that
+// absorption always happens while the earlier transition is still pending.
+type Inertial struct {
+	D float64 // transport delay
+	W float64 // minimum pulse width that passes
+}
+
+// NewInertial validates and returns an inertial-delay channel.
+func NewInertial(d, w float64) (Inertial, error) {
+	if !(d > 0) || math.IsInf(d, 0) {
+		return Inertial{}, fmt.Errorf("channel: inertial delay %g must be positive and finite", d)
+	}
+	if !(w > 0) || w > d {
+		return Inertial{}, fmt.Errorf("channel: inertial window %g must be in (0, D=%g]", w, d)
+	}
+	return Inertial{D: d, W: w}, nil
+}
+
+// Apply filters pulses shorter than W (greedy, left to right, across both
+// polarities) and shifts the survivors by D.
+func (c Inertial) Apply(s signal.Signal) (signal.Signal, error) {
+	// Stack of surviving input transitions.
+	var keep []signal.Transition
+	for i := 0; i < s.Len(); i++ {
+		tr := s.Transition(i)
+		if n := len(keep); n > 0 && tr.At-keep[n-1].At < c.W {
+			keep = keep[:n-1]
+			continue
+		}
+		keep = append(keep, tr)
+	}
+	outs := make([]signal.Transition, len(keep))
+	for i, tr := range keep {
+		outs[i] = signal.Transition{At: tr.At + c.D, To: tr.To}
+	}
+	res, err := signal.New(s.Initial(), outs...)
+	if err != nil {
+		return signal.Signal{}, fmt.Errorf("channel: inertial output invalid: %w", err)
+	}
+	return res, nil
+}
+
+// NewInstance returns online state.
+func (c Inertial) NewInstance() Instance {
+	return &inertialInstance{ch: c}
+}
+
+// String names the model.
+func (c Inertial) String() string { return fmt.Sprintf("inertial(D=%g,W=%g)", c.D, c.W) }
+
+type inertialInstance struct {
+	ch Inertial
+	// inTimes holds the input times of the surviving (scheduled) output
+	// transitions; the absorption test compares against the latest one.
+	inTimes []float64
+}
+
+func (ii *inertialInstance) Input(t float64, to signal.Value) Action {
+	if n := len(ii.inTimes); n > 0 && t-ii.inTimes[n-1] < ii.ch.W {
+		// Glitch: absorb this transition together with the pending one.
+		// Since W ≤ D the earlier output (at inTimes[n-1]+D > t) is
+		// guaranteed still pending.
+		ii.inTimes = ii.inTimes[:n-1]
+		return Action{Cancel: true}
+	}
+	ii.inTimes = append(ii.inTimes, t)
+	return Action{Schedule: true, At: t + ii.ch.D, To: to}
+}
+
+// DDMBranch is one branch of the Degradation Delay Model of Bellido-Díaz et
+// al.: the propagation delay degrades for closely spaced transitions,
+//
+//	δ(T) = TP0 · (1 − e^{−(T−T0)/Tau}) ,
+//
+// where T is the previous-output-to-input offset. The delay is bounded by
+// TP0 and reaches 0 at T = T0 — a bounded single-history channel, the class
+// proven unfaithful in [Függer et al., IEEE TC 2016].
+type DDMBranch struct {
+	TP0 float64 // nominal propagation delay
+	Tau float64 // degradation time constant
+	T0  float64 // offset below which the transition is fully suppressed
+}
+
+// Delay evaluates the branch.
+func (b DDMBranch) Delay(T float64) float64 {
+	return b.TP0 * (1 - math.Exp(-(T-b.T0)/b.Tau))
+}
+
+// DDM is a Degradation Delay Model channel with per-polarity branches.
+type DDM struct {
+	Up   DDMBranch // applied to rising input transitions
+	Down DDMBranch // applied to falling input transitions
+}
+
+// NewDDM validates and returns a DDM channel.
+func NewDDM(up, down DDMBranch) (DDM, error) {
+	for _, b := range []DDMBranch{up, down} {
+		if !(b.TP0 > 0) || !(b.Tau > 0) || b.T0 < 0 {
+			return DDM{}, fmt.Errorf("channel: invalid DDM branch %+v", b)
+		}
+	}
+	return DDM{Up: up, Down: down}, nil
+}
+
+// NewSymmetricDDM returns a DDM with identical branches.
+func NewSymmetricDDM(b DDMBranch) (DDM, error) { return NewDDM(b, b) }
+
+func (d DDM) step() func(t float64, rising bool) float64 {
+	prevOut := math.Inf(-1)
+	return func(t float64, rising bool) float64 {
+		T := t - prevOut
+		b := d.Down
+		if rising {
+			b = d.Up
+		}
+		out := t + b.Delay(T)
+		prevOut = out
+		return out
+	}
+}
+
+// Apply runs the single-history generation algorithm with the DDM delay.
+func (d DDM) Apply(s signal.Signal) (signal.Signal, error) {
+	return applySingleHistory(s, d.step())
+}
+
+// NewInstance returns online state.
+func (d DDM) NewInstance() Instance { return newHistoryInstance(d.step()) }
+
+// String names the model.
+func (d DDM) String() string {
+	return fmt.Sprintf("ddm(up=%+v,down=%+v)", d.Up, d.Down)
+}
+
+// SingleHistory is a generic single-history channel defined by an arbitrary
+// delay function δ(T) per polarity — the umbrella class of Section I.
+type SingleHistory struct {
+	Name  string
+	Delay func(T float64, rising bool) float64
+}
+
+// Apply runs the generation algorithm.
+func (sh SingleHistory) Apply(s signal.Signal) (signal.Signal, error) {
+	return applySingleHistory(s, sh.stepFunc())
+}
+
+// NewInstance returns online state.
+func (sh SingleHistory) NewInstance() Instance { return newHistoryInstance(sh.stepFunc()) }
+
+func (sh SingleHistory) stepFunc() func(t float64, rising bool) float64 {
+	prevOut := math.Inf(-1)
+	return func(t float64, rising bool) float64 {
+		out := t + sh.Delay(t-prevOut, rising)
+		prevOut = out
+		return out
+	}
+}
+
+// String names the model.
+func (sh SingleHistory) String() string {
+	if sh.Name != "" {
+		return sh.Name
+	}
+	return "single-history"
+}
+
+// Involution adapts an η-involution channel (package core) to the Model
+// interface. NewStrategy is called once per instance so that stateful
+// adversaries (random walks, RNG-backed noise) get fresh state per edge;
+// nil means the zero adversary (deterministic involution model).
+type Involution struct {
+	Ch          *core.Channel
+	NewStrategy func() adversary.Strategy
+}
+
+// NewInvolution wraps a core channel. For online use the channel must keep
+// a strict causality margin: η⁻ < min(δ↑(0), δ↓(0)), which constraint (C)
+// implies; this is validated here.
+func NewInvolution(ch *core.Channel, newStrategy func() adversary.Strategy) (Involution, error) {
+	if ch == nil {
+		return Involution{}, errors.New("channel: nil involution channel")
+	}
+	margin := math.Min(ch.Pair().Up.Eval(0), ch.Pair().Down.Eval(0))
+	if !(ch.Eta().Minus < margin) {
+		return Involution{}, fmt.Errorf("channel: η⁻ = %g breaks online causality (needs < min(δ↑(0), δ↓(0)) = %g)", ch.Eta().Minus, margin)
+	}
+	return Involution{Ch: ch, NewStrategy: newStrategy}, nil
+}
+
+func (iv Involution) strategy() adversary.Strategy {
+	if iv.NewStrategy == nil {
+		return adversary.Zero{}
+	}
+	return iv.NewStrategy()
+}
+
+// Apply runs the η-involution output generation algorithm.
+func (iv Involution) Apply(s signal.Signal) (signal.Signal, error) {
+	return iv.Ch.Apply(s, iv.strategy())
+}
+
+// NewInstance returns online state with a fresh adversary.
+func (iv Involution) NewInstance() Instance {
+	st := iv.Ch.NewState(iv.strategy())
+	return newHistoryInstance(st.Step)
+}
+
+// String names the model.
+func (iv Involution) String() string {
+	eta := iv.Ch.Eta()
+	if eta.IsZero() {
+		return "involution"
+	}
+	return fmt.Sprintf("η-involution(η⁺=%g,η⁻=%g)", eta.Plus, eta.Minus)
+}

@@ -1,0 +1,183 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"involution/internal/channel"
+	"involution/internal/gate"
+	"involution/internal/signal"
+)
+
+func mustPure(t *testing.T, d float64) channel.Model {
+	t.Helper()
+	p, err := channel.NewPure(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// buildInverterPair builds i -> NOT a -> NOT b -> o with pure channels.
+func buildInverterPair(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("invpair")
+	for _, err := range []error{
+		c.AddInput("i"),
+		c.AddOutput("o"),
+		c.AddGate("a", gate.Not(), signal.High),
+		c.AddGate("b", gate.Not(), signal.Low),
+		c.Connect("i", "a", 0, nil),
+		c.Connect("a", "b", 0, mustPure(t, 1)),
+		c.Connect("b", "o", 0, nil),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	c := buildInverterPair(t)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Inputs != 1 || st.Outputs != 1 || st.Gates != 2 || st.Channels != 1 || st.ZeroDelay != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := c.Inputs(); len(got) != 1 || got[0] != "i" {
+		t.Fatalf("Inputs %v", got)
+	}
+	if got := c.Outputs(); len(got) != 1 || got[0] != "o" {
+		t.Fatalf("Outputs %v", got)
+	}
+	if len(c.Nodes()) != 4 || len(c.Edges()) != 3 {
+		t.Fatal("node/edge count")
+	}
+	if n, ok := c.Node("a"); !ok || n.Kind != KindGate {
+		t.Fatal("Node lookup")
+	}
+	if _, ok := c.Node("zz"); ok {
+		t.Fatal("unknown node lookup must fail")
+	}
+	if fo := c.Fanout("a"); len(fo) != 1 || fo[0].To != "b" {
+		t.Fatalf("Fanout %v", fo)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	c := New("t")
+	if err := c.AddInput(""); err == nil {
+		t.Error("empty name")
+	}
+	if err := c.AddInput("a b"); err == nil {
+		t.Error("whitespace name")
+	}
+	if err := c.AddInput("i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInput("i"); err == nil {
+		t.Error("duplicate name")
+	}
+	if err := c.AddGate("g", gate.Func{}, signal.Low); err == nil {
+		t.Error("invalid gate func")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	c := New("t")
+	_ = c.AddInput("i")
+	_ = c.AddOutput("o")
+	_ = c.AddGate("g", gate.And(2), signal.Low)
+	cases := []struct {
+		from, to string
+		pin      int
+	}{
+		{"zz", "g", 0}, // unknown source
+		{"i", "zz", 0}, // unknown destination
+		{"o", "g", 0},  // output port drives
+		{"i", "i", 0},  // input port driven
+		{"i", "o", 1},  // output pin out of range
+		{"i", "g", 2},  // gate pin out of range
+		{"i", "g", -1}, // negative pin
+	}
+	for _, cse := range cases {
+		if err := c.Connect(cse.from, cse.to, cse.pin, nil); err == nil {
+			t.Errorf("Connect(%q, %q, %d): want error", cse.from, cse.to, cse.pin)
+		}
+	}
+	if err := c.Connect("i", "g", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Double driver.
+	if err := c.Connect("i", "g", 0, nil); err == nil {
+		t.Error("double driver must fail")
+	}
+}
+
+func TestValidateUndriven(t *testing.T) {
+	c := New("t")
+	_ = c.AddInput("i")
+	_ = c.AddGate("g", gate.And(2), signal.Low)
+	_ = c.AddOutput("o")
+	_ = c.Connect("i", "g", 0, nil)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "pin 1 undriven") {
+		t.Fatalf("want undriven-pin error, got %v", err)
+	}
+	_ = c.Connect("g", "g", 1, mustPure(t, 1))
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("want undriven-output error, got %v", err)
+	}
+	_ = c.Connect("g", "o", 0, nil)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDelayCycleDetected(t *testing.T) {
+	c := New("t")
+	_ = c.AddInput("i")
+	_ = c.AddOutput("o")
+	_ = c.AddGate("a", gate.Or(2), signal.Low)
+	_ = c.AddGate("b", gate.Buf(), signal.Low)
+	_ = c.Connect("i", "a", 0, nil)
+	_ = c.Connect("a", "b", 0, nil)
+	_ = c.Connect("b", "a", 1, nil) // zero-delay feedback: illegal
+	_ = c.Connect("a", "o", 0, nil)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "zero-delay cycle") {
+		t.Fatalf("want zero-delay-cycle error, got %v", err)
+	}
+}
+
+func TestDelayedCycleAllowed(t *testing.T) {
+	c := New("t")
+	_ = c.AddInput("i")
+	_ = c.AddOutput("o")
+	_ = c.AddGate("a", gate.Or(2), signal.Low)
+	_ = c.Connect("i", "a", 0, nil)
+	_ = c.Connect("a", "a", 1, mustPure(t, 1)) // feedback through a channel: fine
+	_ = c.Connect("a", "o", 0, nil)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	c := buildInverterPair(t)
+	dot := c.DOT()
+	for _, want := range []string{"digraph", `"i"`, `"o"`, "NOT", "pure(D=1)", "rankdir=LR"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindInput, KindOutput, KindGate, Kind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package core implements the η-involution channel of Függer et al.
+// (DATE 2018) — the paper's primary contribution — together with the
+// quantitative faithfulness theory of its Section IV.
+//
+// An η-involution channel perturbs every deterministic involution delay by
+// an adversarially chosen ηₙ ∈ [−η⁻, η⁺]:
+//
+//	δₙ = δ↑(max{tₙ − tₙ₋₁ − δₙ₋₁, −δ∞}) + ηₙ   (rising; δ↓ for falling)
+//
+// where tₙ₋₁ + δₙ₋₁ is the tentative output time of the previous input
+// transition (whether or not it was later canceled). Output transitions
+// scheduled out of FIFO order cancel pairwise, which models pulse
+// attenuation and suppression. The max-guard maps offsets at or below the
+// domain edge to δₙ = −∞, i.e. certain cancellation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"involution/internal/adversary"
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+// Channel is an η-involution channel: a strictly causal involution delay
+// pair plus an η perturbation interval. With Eta = {0, 0} it degenerates to
+// a plain involution channel.
+type Channel struct {
+	pair delay.Pair
+	eta  adversary.Eta
+}
+
+// New validates and constructs an η-involution channel. The pair must be
+// strictly causal; eta must be a valid interval.
+func New(pair delay.Pair, eta adversary.Eta) (*Channel, error) {
+	if pair.Up == nil || pair.Down == nil {
+		return nil, errors.New("core: channel needs both δ↑ and δ↓ branches")
+	}
+	if !pair.StrictlyCausal() {
+		return nil, errors.New("core: channel must be strictly causal (δ↑(0) > 0 and δ↓(0) > 0)")
+	}
+	if err := eta.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{pair: pair, eta: eta}, nil
+}
+
+// MustNew is New but panics on invalid input.
+func MustNew(pair delay.Pair, eta adversary.Eta) *Channel {
+	c, err := New(pair, eta)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Pair returns the channel's delay-function pair.
+func (c *Channel) Pair() delay.Pair { return c.pair }
+
+// Eta returns the channel's perturbation interval.
+func (c *Channel) Eta() adversary.Eta { return c.eta }
+
+// State is the stateful per-transition form of the output generation
+// algorithm, used by the event-driven simulator. It tracks the tentative
+// output time of the most recent input transition (canceled or not) and the
+// transition index handed to the adversary.
+type State struct {
+	ch      *Channel
+	strat   adversary.Strategy
+	prevOut float64 // tₙ₋₁ + δₙ₋₁; −Inf before the first transition
+	n       int
+}
+
+// NewState creates fresh per-channel algorithm state bound to an adversary
+// strategy (use adversary.Zero{} for the deterministic involution model).
+func (c *Channel) NewState(strat adversary.Strategy) *State {
+	if strat == nil {
+		strat = adversary.Zero{}
+	}
+	return &State{ch: c, strat: strat, prevOut: math.Inf(-1)}
+}
+
+// Step processes the next input transition at time t and returns its
+// tentative output time tₙ + δₙ. The result is −Inf when the max-guard
+// fires (the transition must cancel against the pending previous one).
+// Callers are responsible for the pairwise cancellation of non-FIFO output
+// transitions.
+func (st *State) Step(t float64, rising bool) float64 {
+	st.n++
+	T := t - st.prevOut
+	f := st.ch.pair.Branch(rising)
+	base := f.Eval(T) // −Inf at or below the domain edge (the max-guard)
+	var d float64
+	if math.IsInf(base, -1) {
+		d = math.Inf(-1)
+	} else {
+		eta := st.ch.eta.Clamp(st.strat.Eta(st.ch.eta, adversary.Context{
+			N:      st.n,
+			At:     t,
+			T:      T,
+			Rising: rising,
+		}))
+		d = base + eta
+	}
+	out := t + d
+	st.prevOut = out
+	return out
+}
+
+// PrevOut returns the tentative output time of the most recent processed
+// transition (−Inf initially).
+func (st *State) PrevOut() float64 { return st.prevOut }
+
+// Apply runs the output transition generation algorithm on a complete input
+// signal under the given adversary strategy and returns the channel output
+// signal. The input signal's initial value is copied to the output.
+//
+// Cancellation follows the paper's rule: pending output transitions n < m
+// with tₙ+δₙ ≥ tₘ+δₘ are both marked canceled, resolved pairwise against
+// the most recent yet-uncanceled pending transition.
+func (c *Channel) Apply(s signal.Signal, strat adversary.Strategy) (signal.Signal, error) {
+	st := c.NewState(strat)
+	// stack holds the not-yet-canceled tentative output transitions in
+	// increasing time order.
+	stack := make([]signal.Transition, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		tr := s.Transition(i)
+		out := st.Step(tr.At, tr.Rising())
+		if len(stack) > 0 && stack[len(stack)-1].At >= out {
+			// Non-FIFO: cancel both the previous pending transition and
+			// this one.
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if math.IsInf(out, -1) {
+			// Guard fired with nothing to cancel against: the previous
+			// transition was already delivered infinitely earlier, which
+			// cannot happen for causal inputs (T ≥ 0 implies δ > 0).
+			return signal.Signal{}, fmt.Errorf("core: max-guard fired with empty pending list at input transition %d (t=%g)", i, tr.At)
+		}
+		stack = append(stack, signal.Transition{At: out, To: tr.To})
+	}
+	res, err := signal.New(s.Initial(), stack...)
+	if err != nil {
+		return signal.Signal{}, fmt.Errorf("core: output not a valid signal: %w", err)
+	}
+	return res, nil
+}
+
+// MustApply is Apply but panics on error; convenient in tests and examples
+// where inputs are known valid.
+func (c *Channel) MustApply(s signal.Signal, strat adversary.Strategy) signal.Signal {
+	out, err := c.Apply(s, strat)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+func ExampleChannel_Apply() {
+	pair, _ := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.5})
+	ch, _ := core.New(pair, adversary.Eta{Plus: 0.05, Minus: 0.05})
+
+	long := signal.MustPulse(0, 3)
+	short := signal.MustPulse(0, 0.4)
+	outLong, _ := ch.Apply(long, adversary.Zero{})
+	outShort, _ := ch.Apply(short, adversary.Zero{})
+	fmt.Println("long pulse  →", outLong.Len(), "transitions")
+	fmt.Println("short pulse →", outShort.Len(), "transitions (canceled)")
+	// Output:
+	// long pulse  → 2 transitions
+	// short pulse → 0 transitions (canceled)
+}
+
+func ExampleAnalyze() {
+	pair, _ := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	ch, _ := core.New(pair, adversary.Eta{Plus: 0.04, Minus: 0.03})
+	a, _ := core.Analyze(ch)
+	fmt.Printf("worst-case train: Δ̄ = %.4f, P = %.4f, γ̄ = %.4f\n", a.DeltaBar, a.Period, a.Gamma)
+	fmt.Printf("Δ₀ = 0.5 → %v\n", a.Classify(0.5))
+	fmt.Printf("Δ₀ = 1.2 → %v\n", a.Classify(1.2))
+	fmt.Printf("Δ₀ = 2.0 → %v\n", a.Classify(2.0))
+	// Output:
+	// worst-case train: Δ̄ = 0.4345, P = 0.6309, γ̄ = 0.6887
+	// Δ₀ = 0.5 → cancel
+	// Δ₀ = 1.2 → metastable
+	// Δ₀ = 2.0 → lock
+}
+
+func ExampleChannel_ConstraintC() {
+	pair, _ := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	ok1, _, _ := core.MustNew(pair, adversary.Eta{Plus: 0.04, Minus: 0.03}).ConstraintC()
+	ok2, _, _ := core.MustNew(pair, adversary.Eta{Plus: 0.4, Minus: 0.3}).ConstraintC()
+	fmt.Println("small η faithful:", ok1)
+	fmt.Println("large η faithful:", ok2)
+	// Output:
+	// small η faithful: true
+	// large η faithful: false
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"involution/internal/delay"
+)
+
+// ConstraintC reports whether the channel satisfies the faithfulness
+// constraint of Lemma 5,
+//
+//	(C):  η⁺ + η⁻ < δ↓(−η⁺) − δmin ,
+//
+// which restricts the adversarial choice of the feedback channel in the SPF
+// circuit. The second return value is the slack δ↓(−η⁺) − δmin − (η⁺+η⁻).
+func (c *Channel) ConstraintC() (bool, float64, error) {
+	dmin, err := c.pair.DeltaMin()
+	if err != nil {
+		return false, 0, err
+	}
+	slack := c.pair.Down.Eval(-c.eta.Plus) - dmin - c.eta.Width()
+	return slack > 0, slack, nil
+}
+
+// MaxEtaMinus returns the largest η⁻ compatible with constraint (C) for the
+// given pair and η⁺ — the dimensioning rule used throughout Section V:
+// η⁻ = δ↓(−η⁺) − δmin − η⁺. A non-positive result means η⁺ alone already
+// violates (C).
+func MaxEtaMinus(pair delay.Pair, etaPlus float64) (float64, error) {
+	dmin, err := pair.DeltaMin()
+	if err != nil {
+		return 0, err
+	}
+	return pair.Down.Eval(-etaPlus) - dmin - etaPlus, nil
+}
+
+// Analysis collects the quantitative results of Section IV for one channel:
+// the worst-case self-repeating pulse train and the Theorem 9 regime
+// boundaries.
+type Analysis struct {
+	DeltaMin float64 // δmin (Lemma 1)
+
+	// Lemma 5: smallest positive fixed point τ of
+	// δ↓(η⁺−τ) + δ↑(−η⁻−τ) = τ. The worst-case infinite pulse train has
+	// period P = τ, up-time Δ̄ = δ↓(η⁺−τ) < δmin and duty cycle γ̄ = Δ̄/P.
+	Tau      float64
+	DeltaBar float64
+	Period   float64
+	Gamma    float64
+
+	// Theorem 9 regime boundaries for the input pulse length Δ₀.
+	CancelBound float64 // δ↑∞ − δmin − η⁺ − η⁻: below, the pulse certainly cancels (Lemma 4)
+	LockBound   float64 // δ↑∞ + η⁺: above, the loop certainly locks (Lemma 3)
+
+	// Lemma 8: the unique Δ̃₀ with g(Δ̃₀) = Δ̄; inputs above it resolve to 1.
+	Delta0Tilde float64
+
+	// Lemma 7: Lipschitz constant a = 1 + δ′↑(0) > 1 governing the
+	// O(log_a 1/(Δ₀−Δ̃₀)) stabilization time.
+	LipschitzA float64
+}
+
+// ErrConstraintC is returned by Analyze when constraint (C) is violated.
+var ErrConstraintC = errors.New("core: constraint (C) violated: η⁺ + η⁻ ≥ δ↓(−η⁺) − δmin")
+
+// Analyze computes the Section IV quantities. It fails if constraint (C)
+// does not hold (the fixed point τ is then not guaranteed to exist).
+func Analyze(c *Channel) (Analysis, error) {
+	ok, _, err := c.ConstraintC()
+	if err != nil {
+		return Analysis{}, err
+	}
+	if !ok {
+		return Analysis{}, ErrConstraintC
+	}
+	dmin, err := c.pair.DeltaMin()
+	if err != nil {
+		return Analysis{}, err
+	}
+	a := Analysis{DeltaMin: dmin}
+
+	etaP, etaM := c.eta.Plus, c.eta.Minus
+	upInf, downInf := c.pair.UpLimit(), c.pair.DownLimit()
+
+	// Fixed point of (6): h(τ) = δ↓(η⁺−τ) + δ↑(−η⁻−τ) − τ, smallest root in
+	// (τ₀, τ₁) with τ₀ = η⁺ + δmin and τ₁ = min(−η⁻ + δ↓∞, η⁺ + δ↑∞).
+	h := func(tau float64) float64 {
+		return c.pair.Down.Eval(etaP-tau) + c.pair.Up.Eval(-etaM-tau) - tau
+	}
+	tau0 := etaP + dmin
+	tau1 := math.Min(-etaM+downInf, etaP+upInf)
+	if !(tau0 < tau1) {
+		return Analysis{}, fmt.Errorf("core: empty fixed-point bracket [%g, %g]", tau0, tau1)
+	}
+	tau, err := smallestRoot(h, tau0, tau1)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("core: fixed point τ: %w", err)
+	}
+	a.Tau = tau
+	a.Period = tau
+	a.DeltaBar = c.pair.Down.Eval(etaP - tau)
+	a.Gamma = a.DeltaBar / a.Period
+
+	a.CancelBound = upInf - dmin - etaP - etaM
+	a.LockBound = upInf + etaP
+
+	// Lemma 8: g(Δ₀) = δ↓(Δ₀ − η⁺ − δ↑∞) + Δ₀ − η⁻ − η⁺ − δ↑∞ is strictly
+	// increasing with g → −η⁻ ≤ 0 at Δ₀ = η⁺ + δ↑∞ − δmin and
+	// g → δ↓(η⁻) > Δ̄ at Δ₀ = η⁻ + η⁺ + δ↑∞.
+	g := func(d0 float64) float64 {
+		return c.pair.Down.Eval(d0-etaP-upInf) + d0 - etaM - etaP - upInf
+	}
+	lo := etaP + upInf - dmin
+	hi := etaM + etaP + upInf
+	target := a.DeltaBar
+	d0t, err := delay.Bisect(func(x float64) float64 { return g(x) - target }, lo+1e-12*(1+math.Abs(lo)), hi)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("core: Δ̃₀: %w", err)
+	}
+	a.Delta0Tilde = d0t
+
+	a.LipschitzA = 1 + c.pair.Up.Deriv(0)
+	return a, nil
+}
+
+// smallestRoot locates the smallest root of the continuous function f on
+// (lo, hi) with f(lo⁺) > 0 and f → −∞ at hi: it scans for the first sign
+// change on a fine grid and refines by bisection.
+func smallestRoot(f func(float64) float64, lo, hi float64) (float64, error) {
+	const steps = 4096
+	span := hi - lo
+	eps := 1e-12 * (1 + math.Abs(hi))
+	prevX := lo + eps
+	prevV := f(prevX)
+	if prevV <= 0 {
+		// f should be positive at lo⁺ under constraint (C); if the grid
+		// point already crossed, fall back to returning it.
+		if prevV == 0 {
+			return prevX, nil
+		}
+		return 0, fmt.Errorf("core: f(lo⁺)=%g not positive", prevV)
+	}
+	for i := 1; i <= steps; i++ {
+		x := lo + span*float64(i)/steps
+		if i == steps {
+			x = hi - eps
+		}
+		v := f(x)
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("core: NaN at %g while scanning for root", x)
+		}
+		if v <= 0 {
+			return delay.Bisect(f, prevX, x)
+		}
+		prevX, prevV = x, v
+	}
+	_ = prevV
+	return 0, errors.New("core: no sign change found in bracket")
+}
+
+// WorstCaseNext evaluates the recurrence (2) of Lemma 5: the up-time of the
+// next pulse of the OR-loop output under the worst-case adversary (rising
+// maximally late, falling maximally early), given the previous up-time.
+func (c *Channel) WorstCaseNext(prevUp float64) float64 {
+	etaP, etaM := c.eta.Plus, c.eta.Minus
+	du := c.pair.Up.Eval(-prevUp)
+	return c.pair.Down.Eval(prevUp-etaP-du) + prevUp - etaM - etaP - du
+}
+
+// WorstCaseFirst evaluates Lemma 8's g: the first loop pulse length Δ₁
+// produced by an input pulse of length Δ₀ under the worst-case adversary.
+func (c *Channel) WorstCaseFirst(delta0 float64) float64 {
+	etaP, etaM := c.eta.Plus, c.eta.Minus
+	upInf := c.pair.UpLimit()
+	return c.pair.Down.Eval(delta0-etaP-upInf) + delta0 - etaM - etaP - upInf
+}
+
+// Regime is the Theorem 9 classification of an SPF input pulse length.
+type Regime int
+
+// The three regimes of Theorem 9.
+const (
+	// RegimeCancel: Δ₀ ≤ δ↑∞ − δmin − η⁺ − η⁻; the OR output contains only
+	// the input pulse (the loop filters it) for every adversary.
+	RegimeCancel Regime = iota
+	// RegimeMetastable: the window in between; the loop may resolve to 0 or
+	// 1 or oscillate, possibly forever, with up-times ≤ Δ̄ and duty cycles
+	// ≤ γ̄ < 1.
+	RegimeMetastable
+	// RegimeLock: Δ₀ ≥ δ↑∞ + η⁺; the OR output has a single rising
+	// transition at time 0 for every adversary.
+	RegimeLock
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case RegimeCancel:
+		return "cancel"
+	case RegimeMetastable:
+		return "metastable"
+	case RegimeLock:
+		return "lock"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Classify returns the Theorem 9 regime of an input pulse length Δ₀.
+func (a Analysis) Classify(delta0 float64) Regime {
+	switch {
+	case delta0 <= a.CancelBound:
+		return RegimeCancel
+	case delta0 >= a.LockBound:
+		return RegimeLock
+	default:
+		return RegimeMetastable
+	}
+}
+
+// StabilizationPulses bounds (up to an additive constant) the number of
+// loop pulses generated before the output resolves to 1 when Δ₀ > Δ̃₀:
+// the Lemma 7/8 geometric growth gives O(log_a(1/(Δ₀−Δ̃₀))) pulses with
+// a = 1 + δ′↑(0). Returns +Inf for Δ₀ ≤ Δ̃₀.
+func (a Analysis) StabilizationPulses(delta0 float64) float64 {
+	if delta0 <= a.Delta0Tilde {
+		return math.Inf(1)
+	}
+	gap := delta0 - a.Delta0Tilde
+	// Pulses die out once the up-time gap has grown to the order of δmin.
+	n := math.Log(a.DeltaMin/gap) / math.Log(a.LipschitzA)
+	return math.Max(0, math.Ceil(n)) + 1
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"involution/internal/adversary"
+	"involution/internal/delay"
+)
+
+func TestConstraintC(t *testing.T) {
+	pair := delay.MustExp(testExp)
+	dmin, _ := pair.DeltaMin()
+
+	// η = 0 always satisfies (C) for strictly causal channels since
+	// δ↓(0) > δmin.
+	c := MustNew(pair, adversary.Eta{})
+	ok, slack, err := c.ConstraintC()
+	if err != nil || !ok || slack <= 0 {
+		t.Fatalf("η=0 must satisfy (C): ok=%v slack=%g err=%v", ok, slack, err)
+	}
+
+	// Huge η violates (C).
+	c = MustNew(pair, adversary.Eta{Plus: dmin, Minus: dmin})
+	if ok, _, _ := c.ConstraintC(); ok {
+		t.Fatal("large η must violate (C): η⁺ < δmin is necessary")
+	}
+}
+
+func TestMaxEtaMinusTightness(t *testing.T) {
+	pair := delay.MustExp(testExp)
+	etaPlus := 0.1
+	em, err := MaxEtaMinus(pair, etaPlus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em <= 0 {
+		t.Fatalf("feasible η⁻ = %g must be positive for small η⁺", em)
+	}
+	// Just inside the bound: (C) holds; at the bound: it fails (strict).
+	cIn := MustNew(pair, adversary.Eta{Plus: etaPlus, Minus: em * 0.999})
+	if ok, _, _ := cIn.ConstraintC(); !ok {
+		t.Fatal("(C) must hold just inside the bound")
+	}
+	cAt := MustNew(pair, adversary.Eta{Plus: etaPlus, Minus: em})
+	if ok, _, _ := cAt.ConstraintC(); ok {
+		t.Fatal("(C) is strict: must fail at the bound")
+	}
+}
+
+func TestAnalyzeZeroEta(t *testing.T) {
+	// With η = 0 the analysis degenerates to the original involution model:
+	// τ solves δ↓(−τ) + δ↑(−τ) = τ and Δ̄ = δ↓(−τ) < δmin.
+	pair := delay.MustExp(testExp)
+	c := MustNew(pair, adversary.Eta{})
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := pair.Down.Eval(-a.Tau) + pair.Up.Eval(-a.Tau) - a.Tau
+	if math.Abs(resid) > 1e-9 {
+		t.Errorf("fixed point residual %g", resid)
+	}
+	if !(a.DeltaBar > 0 && a.DeltaBar < a.DeltaMin) {
+		t.Errorf("Δ̄ = %g must be in (0, δmin=%g)", a.DeltaBar, a.DeltaMin)
+	}
+	if !(a.Gamma > 0 && a.Gamma < 1) {
+		t.Errorf("γ̄ = %g must be in (0,1)", a.Gamma)
+	}
+	if a.Period != a.Tau {
+		t.Errorf("P = %g must equal τ = %g", a.Period, a.Tau)
+	}
+}
+
+func TestAnalyzeBoundsOrdering(t *testing.T) {
+	pair := delay.MustExp(testExp)
+	eta := adversary.Eta{Plus: 0.05, Minus: 0.05}
+	c := MustNew(pair, eta)
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 5 bracket: η⁺ + δmin < τ < min(−η⁻+δ↓∞, η⁺+δ↑∞).
+	if !(eta.Plus+a.DeltaMin < a.Tau) {
+		t.Errorf("τ = %g must exceed η⁺+δmin = %g", a.Tau, eta.Plus+a.DeltaMin)
+	}
+	tau1 := math.Min(-eta.Minus+pair.DownLimit(), eta.Plus+pair.UpLimit())
+	if !(a.Tau < tau1) {
+		t.Errorf("τ = %g must be below %g", a.Tau, tau1)
+	}
+	// Theorem 9 ordering: CancelBound < Δ̃₀ < LockBound.
+	if !(a.CancelBound < a.Delta0Tilde && a.Delta0Tilde < a.LockBound) {
+		t.Errorf("bounds out of order: cancel=%g Δ̃₀=%g lock=%g", a.CancelBound, a.Delta0Tilde, a.LockBound)
+	}
+	// Fixed-point residual of (6).
+	resid := pair.Down.Eval(eta.Plus-a.Tau) + pair.Up.Eval(-eta.Minus-a.Tau) - a.Tau
+	if math.Abs(resid) > 1e-9 {
+		t.Errorf("h(τ) = %g", resid)
+	}
+	// Δ̃₀ solves g(Δ̃₀) = Δ̄.
+	if got := c.WorstCaseFirst(a.Delta0Tilde); math.Abs(got-a.DeltaBar) > 1e-8 {
+		t.Errorf("g(Δ̃₀) = %g want Δ̄ = %g", got, a.DeltaBar)
+	}
+	if !(a.LipschitzA > 1) {
+		t.Errorf("a = %g must exceed 1", a.LipschitzA)
+	}
+}
+
+func TestAnalyzeRejectsConstraintCViolation(t *testing.T) {
+	pair := delay.MustExp(testExp)
+	dmin, _ := pair.DeltaMin()
+	c := MustNew(pair, adversary.Eta{Plus: dmin, Minus: dmin})
+	if _, err := Analyze(c); !errors.Is(err, ErrConstraintC) {
+		t.Fatalf("want ErrConstraintC, got %v", err)
+	}
+}
+
+func TestWorstCaseFixedPoint(t *testing.T) {
+	// Δ̄ is the fixed point of the worst-case recurrence (2).
+	pair := delay.MustExp(testExp)
+	c := MustNew(pair, adversary.Eta{Plus: 0.04, Minus: 0.03})
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WorstCaseNext(a.DeltaBar); math.Abs(got-a.DeltaBar) > 1e-8 {
+		t.Fatalf("f(Δ̄) = %g want %g", got, a.DeltaBar)
+	}
+}
+
+func TestLemma7GeometricGrowth(t *testing.T) {
+	// f(Δ₁) − Δ̄ ≥ a · (Δ₁ − Δ̄) for Δ₁ > Δ̄ with a = 1 + δ′↑(0).
+	pair := delay.MustExp(testExp)
+	c := MustNew(pair, adversary.Eta{Plus: 0.04, Minus: 0.03})
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gap := range []float64{1e-4, 1e-3, 1e-2, 0.05, 0.1} {
+		d1 := a.DeltaBar + gap
+		grow := c.WorstCaseNext(d1) - a.DeltaBar
+		if grow < a.LipschitzA*gap*(1-1e-9) {
+			t.Errorf("gap %g: growth %g < a·gap = %g", gap, grow, a.LipschitzA*gap)
+		}
+	}
+}
+
+func TestWorstCaseIterationDivergesAboveDeltaBar(t *testing.T) {
+	// Iterating the recurrence from slightly above Δ̄ must blow past δmin
+	// within the log bound of Lemma 7 — the pulse train dies out.
+	pair := delay.MustExp(testExp)
+	c := MustNew(pair, adversary.Eta{Plus: 0.04, Minus: 0.03})
+	a, _ := Analyze(c)
+	d := a.DeltaBar + 1e-6
+	steps := 0
+	for d < a.DeltaMin && steps < 10000 {
+		d = c.WorstCaseNext(d)
+		steps++
+	}
+	if d < a.DeltaMin {
+		t.Fatalf("iteration did not escape after %d steps (d=%g)", steps, d)
+	}
+	bound := math.Log(a.DeltaMin/1e-6)/math.Log(a.LipschitzA) + 2
+	if float64(steps) > bound {
+		t.Fatalf("escape took %d steps, Lemma 7 bound ≈ %g", steps, bound)
+	}
+}
+
+func TestWorstCaseIterationConvergesBelowDeltaBar(t *testing.T) {
+	// Starting below Δ̄ the worst-case up-times shrink (pulses die to 0):
+	// Δ̄ is the *largest* up-time sustainable forever.
+	pair := delay.MustExp(testExp)
+	c := MustNew(pair, adversary.Eta{Plus: 0.04, Minus: 0.03})
+	a, _ := Analyze(c)
+	d := a.DeltaBar - 1e-3
+	for i := 0; i < 200 && d > 0; i++ {
+		next := c.WorstCaseNext(d)
+		if next >= d {
+			t.Fatalf("up-time did not shrink below Δ̄: %g → %g", d, next)
+		}
+		d = next
+	}
+}
+
+func TestClassify(t *testing.T) {
+	pair := delay.MustExp(testExp)
+	c := MustNew(pair, adversary.Eta{Plus: 0.05, Minus: 0.05})
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		d0   float64
+		want Regime
+	}{
+		{a.CancelBound * 0.5, RegimeCancel},
+		{a.CancelBound, RegimeCancel},
+		{(a.CancelBound + a.LockBound) / 2, RegimeMetastable},
+		{a.LockBound, RegimeLock},
+		{a.LockBound * 2, RegimeLock},
+	}
+	for _, cse := range cases {
+		if got := a.Classify(cse.d0); got != cse.want {
+			t.Errorf("Classify(%g) = %v want %v", cse.d0, got, cse.want)
+		}
+	}
+	for _, r := range []Regime{RegimeCancel, RegimeMetastable, RegimeLock, Regime(42)} {
+		if r.String() == "" {
+			t.Errorf("empty string for %d", int(r))
+		}
+	}
+}
+
+func TestStabilizationPulses(t *testing.T) {
+	pair := delay.MustExp(testExp)
+	c := MustNew(pair, adversary.Eta{Plus: 0.05, Minus: 0.05})
+	a, _ := Analyze(c)
+	if got := a.StabilizationPulses(a.Delta0Tilde - 0.01); !math.IsInf(got, 1) {
+		t.Fatalf("below Δ̃₀ must be unbounded, got %g", got)
+	}
+	n1 := a.StabilizationPulses(a.Delta0Tilde + 1e-6)
+	n2 := a.StabilizationPulses(a.Delta0Tilde + 1e-2)
+	if !(n1 > n2 && n2 >= 1) {
+		t.Fatalf("stabilization bound must decrease with the gap: %g %g", n1, n2)
+	}
+}
+
+func TestQuickAnalysisInvariantsRandomChannels(t *testing.T) {
+	// Property: for random exp-channels and random feasible η, the Lemma
+	// 5/6 invariants hold: Δ̄ < δmin, γ̄ < δmin/(δmin+η⁺) ≤ 1, τ in its
+	// bracket, and Δ̄ is a fixed point of the recurrence.
+	cfg := &quick.Config{MaxCount: 120}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := delay.ExpParams{
+			Tau: 0.2 + 3*r.Float64(),
+			TP:  0.1 + 2*r.Float64(),
+			Vth: 0.2 + 0.6*r.Float64(),
+		}
+		pair, err := delay.Exp(p)
+		if err != nil {
+			return false
+		}
+		etaPlus := r.Float64() * 0.3 * p.TP
+		maxMinus, err := MaxEtaMinus(pair, etaPlus)
+		if err != nil {
+			return false
+		}
+		if maxMinus <= 0 {
+			// η⁺ alone already violates (C) for this channel — not a valid
+			// test case.
+			return true
+		}
+		eta := adversary.Eta{Plus: etaPlus, Minus: 0.9 * maxMinus * r.Float64()}
+		c, err := New(pair, eta)
+		if err != nil {
+			return false
+		}
+		a, err := Analyze(c)
+		if err != nil {
+			return false
+		}
+		if !(a.DeltaBar > 0 && a.DeltaBar < a.DeltaMin) {
+			return false
+		}
+		if !(a.Gamma < a.DeltaMin/(a.DeltaMin+eta.Plus)+1e-12) {
+			return false
+		}
+		if !(eta.Plus+a.DeltaMin < a.Tau) {
+			return false
+		}
+		return math.Abs(c.WorstCaseNext(a.DeltaBar)-a.DeltaBar) < 1e-6*(1+a.DeltaBar)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+)
+
+// blendFunc is a convex combination w·f + (1−w)·g of two branches sharing
+// the same open domain edge. Convex combinations preserve strict
+// monotonicity and concavity, the limit blends, and the shared edge keeps
+// the branch diverging to −∞ there — so a blended branch is again a valid
+// δ↑ (or δ↓) branch, and FromUp/FromDown derive the unique involution
+// partner. Blends model delay functions richer than a single exp-channel
+// (e.g. multi-pole drivers) while retaining faithfulness.
+type blendFunc struct {
+	f, g Func
+	w    float64
+}
+
+// Blend returns w·f + (1−w)·g for w ∈ (0, 1). The branches must share the
+// same domain edge and have finite limits.
+func Blend(f, g Func, w float64) (Func, error) {
+	if !(w > 0 && w < 1) {
+		return nil, fmt.Errorf("delay: blend weight %g must be in (0,1)", w)
+	}
+	if f == nil || g == nil {
+		return nil, fmt.Errorf("delay: blend needs two branches")
+	}
+	if math.IsInf(f.Limit(), 0) || math.IsInf(g.Limit(), 0) {
+		return nil, fmt.Errorf("delay: blend requires finite limits, got %g and %g", f.Limit(), g.Limit())
+	}
+	if d1, d2 := f.DomainMin(), g.DomainMin(); math.Abs(d1-d2) > 1e-12*(1+math.Abs(d1)) {
+		return nil, fmt.Errorf("delay: blend requires a shared domain edge, got %g and %g", d1, d2)
+	}
+	return blendFunc{f: f, g: g, w: w}, nil
+}
+
+// BlendedExp builds an involution pair whose δ↑ is the convex combination
+// of the δ↑ branches of two exp-channels with equal δ↓∞ (so the branches
+// share their domain edge); δ↓ is derived numerically. Equal δ↓∞ is
+// arranged by construction: the second channel's Tp is adjusted so that
+// Tp₂ − τ₂·ln(Vth₂) matches the first channel's δ↓∞.
+func BlendedExp(p1 ExpParams, tau2, vth2, w float64) (Pair, error) {
+	pair1, err := Exp(p1)
+	if err != nil {
+		return Pair{}, err
+	}
+	// Choose Tp₂ so δ↓∞ matches: Tp₂ = δ↓∞₁ + τ₂·ln(Vth₂).
+	tp2 := p1.DownLimit() + tau2*math.Log(vth2)
+	if !(tp2 > 0) {
+		return Pair{}, fmt.Errorf("delay: blended exp needs Tp₂ = %g > 0; pick a smaller τ₂ or larger Vth₂", tp2)
+	}
+	p2 := ExpParams{Tau: tau2, TP: tp2, Vth: vth2}
+	pair2, err := Exp(p2)
+	if err != nil {
+		return Pair{}, err
+	}
+	up, err := Blend(pair1.Up, pair2.Up, w)
+	if err != nil {
+		return Pair{}, err
+	}
+	return FromUp(up)
+}
+
+func (b blendFunc) Eval(T float64) float64 {
+	if T <= b.DomainMin() {
+		return math.Inf(-1)
+	}
+	return b.w*b.f.Eval(T) + (1-b.w)*b.g.Eval(T)
+}
+
+func (b blendFunc) Deriv(T float64) float64 {
+	return b.w*b.f.Deriv(T) + (1-b.w)*b.g.Deriv(T)
+}
+
+func (b blendFunc) DomainMin() float64 { return b.f.DomainMin() }
+
+func (b blendFunc) Limit() float64 { return b.w*b.f.Limit() + (1-b.w)*b.g.Limit() }

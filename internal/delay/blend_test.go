@@ -1,0 +1,95 @@
+package delay
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBlendValidation(t *testing.T) {
+	p1 := MustExp(ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	p2 := MustExp(ExpParams{Tau: 2, TP: 1, Vth: 0.3})
+	if _, err := Blend(p1.Up, p1.Up, 0); err == nil {
+		t.Error("w=0 must fail")
+	}
+	if _, err := Blend(p1.Up, p1.Up, 1); err == nil {
+		t.Error("w=1 must fail")
+	}
+	if _, err := Blend(nil, p1.Up, 0.5); err == nil {
+		t.Error("nil branch must fail")
+	}
+	if _, err := Blend(p1.Up, p2.Up, 0.5); err == nil {
+		t.Error("mismatched domain edges must fail")
+	}
+	if _, err := Blend(p1.Up, infLimitFunc{}, 0.5); err == nil {
+		t.Error("infinite limit must fail")
+	}
+}
+
+func TestBlendShapeAndLimits(t *testing.T) {
+	pair, err := BlendedExp(ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}, 0.4, 0.7, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.CheckShape(Linspace(pair.Up.DomainMin()+0.05, 12, 200)); err != nil {
+		t.Fatal(err)
+	}
+	// Limit is the convex combination of the component limits.
+	if v := pair.Up.Eval(1e9); math.Abs(v-pair.UpLimit()) > 1e-9 {
+		t.Errorf("limit approach: %g vs %g", v, pair.UpLimit())
+	}
+	// Below the shared edge: guard value.
+	if v := pair.Up.Eval(pair.Up.DomainMin() - 0.1); !math.IsInf(v, -1) {
+		t.Errorf("below edge: %g", v)
+	}
+	// Derivative matches numerics.
+	for _, T := range []float64{0, 1, 3} {
+		want := NumDeriv(pair.Up.Eval, T)
+		if got := pair.Up.Deriv(T); math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("Deriv(%g) = %g numeric %g", T, got, want)
+		}
+	}
+}
+
+func TestBlendedExpIsInvolution(t *testing.T) {
+	pair, err := BlendedExp(ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}, 0.4, 0.7, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.CheckInvolution(Linspace(-0.5, 4, 40), 1e-7); err != nil {
+		t.Fatal(err)
+	}
+	// A blended pair is strictly causal and has a well-defined δmin.
+	if !pair.StrictlyCausal() {
+		t.Fatal("blend must stay strictly causal")
+	}
+	dm, err := pair.DeltaMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pair.Up.Eval(-dm); math.Abs(got-dm) > 1e-8 {
+		t.Fatalf("δ↑(−δmin) = %g want %g", got, dm)
+	}
+}
+
+func TestBlendDiffersFromComponents(t *testing.T) {
+	p1 := ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}
+	pair1 := MustExp(p1)
+	blended, err := BlendedExp(p1, 0.4, 0.7, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDiff float64
+	for _, T := range Linspace(-0.5, 6, 40) {
+		maxDiff = math.Max(maxDiff, math.Abs(blended.Up.Eval(T)-pair1.Up.Eval(T)))
+	}
+	if maxDiff < 1e-3 {
+		t.Fatalf("blend too close to its first component: %g", maxDiff)
+	}
+}
+
+func TestBlendedExpInfeasibleTp(t *testing.T) {
+	// A huge τ₂ forces Tp₂ ≤ 0, which must be rejected.
+	if _, err := BlendedExp(ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}, 50, 0.5, 0.5); err == nil {
+		t.Fatal("want error for infeasible second component")
+	}
+}

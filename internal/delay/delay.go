@@ -1,0 +1,202 @@
+// Package delay implements the single-history delay functions of the
+// involution model (Függer et al., DATE'15/DATE'18).
+//
+// An involution channel is characterized by two strictly increasing concave
+// delay functions
+//
+//	δ↑ : (−δ↓∞, ∞) → (−∞, δ↑∞)   and   δ↓ : (−δ↑∞, ∞) → (−∞, δ↓∞)
+//
+// with finite limits δ↑∞, δ↓∞ satisfying the involution property
+//
+//	−δ↑(−δ↓(T)) = T   and   −δ↓(−δ↑(T)) = T        (1)
+//
+// for all T. δ(T) is the input-to-output delay of an input transition whose
+// previous-output-to-input offset is T. Strictly causal channels have
+// δ↑(0) > 0 and δ↓(0) > 0 and a unique δmin > 0 with
+// δ↑(−δmin) = δmin = δ↓(−δmin) (Lemma 1).
+//
+// The package provides the analytic exp-channel (gates driving RC loads),
+// generic numeric involutions derived from a single branch, and
+// table-interpolated delay functions for measured data.
+package delay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Func is one branch (δ↑ or δ↓) of a single-history delay function: a
+// strictly increasing, concave function on the open domain
+// (DomainMin(), +∞) with finite limit Limit() as T → ∞.
+type Func interface {
+	// Eval returns δ(T). For T ≤ DomainMin() it returns −Inf, matching the
+	// max-guard semantics of the η-involution output generation algorithm.
+	Eval(T float64) float64
+	// Deriv returns δ′(T) for T in the open domain.
+	Deriv(T float64) float64
+	// DomainMin returns the open lower domain bound (−δ∞ of the other
+	// branch for an involution pair).
+	DomainMin() float64
+	// Limit returns δ∞ = lim_{T→∞} δ(T).
+	Limit() float64
+}
+
+// Pair is a (δ↑, δ↓) pair of delay-function branches forming a channel's
+// delay characterization.
+type Pair struct {
+	Up   Func // δ↑, applied to rising input transitions
+	Down Func // δ↓, applied to falling input transitions
+}
+
+// Branch returns δ↑ for rising and δ↓ for falling transitions.
+func (p Pair) Branch(rising bool) Func {
+	if rising {
+		return p.Up
+	}
+	return p.Down
+}
+
+// UpLimit returns δ↑∞.
+func (p Pair) UpLimit() float64 { return p.Up.Limit() }
+
+// DownLimit returns δ↓∞.
+func (p Pair) DownLimit() float64 { return p.Down.Limit() }
+
+// StrictlyCausal reports whether δ↑(0) > 0 and δ↓(0) > 0.
+func (p Pair) StrictlyCausal() bool {
+	return p.Up.Eval(0) > 0 && p.Down.Eval(0) > 0
+}
+
+// DeltaMin computes the unique δmin > 0 with δ↑(−δmin) = δmin (Lemma 1) by
+// bisection. The pair must be strictly causal.
+func (p Pair) DeltaMin() (float64, error) {
+	if !p.StrictlyCausal() {
+		return 0, errors.New("delay: DeltaMin requires a strictly causal pair")
+	}
+	// g(x) = δ↑(−x) − x is strictly decreasing, g(0) = δ↑(0) > 0 and
+	// g(x) → −∞ as x → δ↓∞ (domain edge of δ↑).
+	g := func(x float64) float64 { return p.Up.Eval(-x) - x }
+	hi := p.DownLimit()
+	if math.IsInf(hi, 1) {
+		hi = 1
+		for g(hi) > 0 {
+			hi *= 2
+			if hi > 1e18 {
+				return 0, errors.New("delay: DeltaMin bracket expansion failed")
+			}
+		}
+	}
+	return bisectDecreasing(g, 0, hi)
+}
+
+// CheckInvolution verifies the involution identity (1) in both directions at
+// the sample offsets Ts, up to the absolute tolerance tol. It returns a
+// descriptive error for the first violated sample.
+func (p Pair) CheckInvolution(Ts []float64, tol float64) error {
+	for _, T := range Ts {
+		if T > p.Down.DomainMin() {
+			d := p.Down.Eval(T)
+			if got := -p.Up.Eval(-d); math.Abs(got-T) > tol {
+				return fmt.Errorf("delay: -δ↑(-δ↓(%g)) = %g, want %g", T, got, T)
+			}
+		}
+		if T > p.Up.DomainMin() {
+			d := p.Up.Eval(T)
+			if got := -p.Down.Eval(-d); math.Abs(got-T) > tol {
+				return fmt.Errorf("delay: -δ↓(-δ↑(%g)) = %g, want %g", T, got, T)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckShape verifies strict monotonicity and concavity of both branches at
+// the sample offsets (which must be sorted increasing).
+func (p Pair) CheckShape(Ts []float64) error {
+	for name, f := range map[string]Func{"δ↑": p.Up, "δ↓": p.Down} {
+		var prevT, prevV, prevSlope float64
+		have := false
+		for _, T := range Ts {
+			if T <= f.DomainMin() {
+				continue
+			}
+			v := f.Eval(T)
+			if have {
+				if v <= prevV {
+					return fmt.Errorf("delay: %s not strictly increasing at T=%g", name, T)
+				}
+				slope := (v - prevV) / (T - prevT)
+				if prevSlope != 0 && slope > prevSlope*(1+1e-9) {
+					return fmt.Errorf("delay: %s not concave at T=%g", name, T)
+				}
+				prevSlope = slope
+			}
+			prevT, prevV, have = T, v, true
+		}
+	}
+	return nil
+}
+
+// bisectDecreasing finds the root of a strictly decreasing continuous
+// function g on (lo, hi) with g(lo⁺) > 0 > g(hi⁻).
+func bisectDecreasing(g func(float64) float64, lo, hi float64) (float64, error) {
+	const iters = 200
+	for i := 0; i < iters; i++ {
+		mid := 0.5 * (lo + hi)
+		v := g(mid)
+		switch {
+		case math.IsNaN(v):
+			return 0, fmt.Errorf("delay: bisection hit NaN at %g", mid)
+		case v > 0:
+			lo = mid
+		default:
+			hi = mid
+		}
+		if hi-lo < 1e-15*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// Bisect finds a root of the continuous function f on [lo, hi] where
+// f(lo) and f(hi) have opposite signs.
+func Bisect(f func(float64) float64, lo, hi float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if math.IsNaN(flo) || math.IsNaN(fhi) {
+		return 0, errors.New("delay: Bisect endpoint is NaN")
+	}
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, fmt.Errorf("delay: Bisect endpoints do not bracket a root: f(%g)=%g f(%g)=%g", lo, flo, hi, fhi)
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		v := f(mid)
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("delay: Bisect hit NaN at %g", mid)
+		}
+		if (v > 0) == (flo > 0) {
+			lo, flo = mid, v
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-15*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// NumDeriv returns the central-difference derivative of f at T with step h
+// scaled to the magnitude of T.
+func NumDeriv(f func(float64) float64, T float64) float64 {
+	h := 1e-6 * (1 + math.Abs(T))
+	return (f(T+h) - f(T-h)) / (2 * h)
+}

@@ -1,0 +1,407 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testParams = ExpParams{Tau: 1.0, TP: 0.5, Vth: 0.6}
+
+func mustPair(t *testing.T, p ExpParams) Pair {
+	t.Helper()
+	pair, err := Exp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair
+}
+
+func TestExpParamsValidate(t *testing.T) {
+	bad := []ExpParams{
+		{Tau: 0, TP: 1, Vth: 0.5},
+		{Tau: -1, TP: 1, Vth: 0.5},
+		{Tau: 1, TP: 0, Vth: 0.5},
+		{Tau: 1, TP: -1, Vth: 0.5},
+		{Tau: 1, TP: 1, Vth: 0},
+		{Tau: 1, TP: 1, Vth: 1},
+		{Tau: math.Inf(1), TP: 1, Vth: 0.5},
+	}
+	for _, p := range bad {
+		if _, err := Exp(p); err == nil {
+			t.Errorf("Exp(%+v): want error", p)
+		}
+	}
+	if _, err := Exp(testParams); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestExpLimitsAndDomain(t *testing.T) {
+	p := testParams
+	pair := mustPair(t, p)
+	wantUp := p.TP - p.Tau*math.Log(1-p.Vth)
+	wantDown := p.TP - p.Tau*math.Log(p.Vth)
+	if math.Abs(pair.UpLimit()-wantUp) > 1e-12 {
+		t.Errorf("UpLimit = %g want %g", pair.UpLimit(), wantUp)
+	}
+	if math.Abs(pair.DownLimit()-wantDown) > 1e-12 {
+		t.Errorf("DownLimit = %g want %g", pair.DownLimit(), wantDown)
+	}
+	// Domain of δ↑ is (−δ↓∞, ∞) and vice versa.
+	if math.Abs(pair.Up.DomainMin()+wantDown) > 1e-12 {
+		t.Errorf("Up.DomainMin = %g want %g", pair.Up.DomainMin(), -wantDown)
+	}
+	if math.Abs(pair.Down.DomainMin()+wantUp) > 1e-12 {
+		t.Errorf("Down.DomainMin = %g want %g", pair.Down.DomainMin(), -wantUp)
+	}
+	// Below the domain the guard value −Inf is returned.
+	if v := pair.Up.Eval(pair.Up.DomainMin() - 0.1); !math.IsInf(v, -1) {
+		t.Errorf("Eval below domain = %g, want -Inf", v)
+	}
+	// Limits approached from within.
+	if v := pair.Up.Eval(1e6); math.Abs(v-wantUp) > 1e-9 {
+		t.Errorf("δ↑(large) = %g want %g", v, wantUp)
+	}
+}
+
+func TestExpInvolutionIdentity(t *testing.T) {
+	pair := mustPair(t, testParams)
+	// The identity holds exactly, but evaluating the composition is
+	// ill-conditioned for large T (error amplifies like e^{T/τ}), so the
+	// tolerance accounts for that.
+	Ts := Linspace(-1.5, 20, 500)
+	if err := pair.CheckInvolution(Ts, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.CheckInvolution(Linspace(-1.5, 5, 200), 1e-10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpShape(t *testing.T) {
+	pair := mustPair(t, testParams)
+	if err := pair.CheckShape(Linspace(-1.0, 20, 400)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpDeltaMinIsTP(t *testing.T) {
+	for _, p := range []ExpParams{
+		testParams,
+		{Tau: 0.3, TP: 2, Vth: 0.5},
+		{Tau: 5, TP: 0.1, Vth: 0.8},
+		{Tau: 1, TP: 1, Vth: 0.2},
+	} {
+		pair := mustPair(t, p)
+		dm, err := pair.DeltaMin()
+		if err != nil {
+			t.Fatalf("DeltaMin(%+v): %v", p, err)
+		}
+		if math.Abs(dm-p.TP) > 1e-9 {
+			t.Errorf("DeltaMin(%+v) = %g, want Tp = %g (Lemma 1)", p, dm, p.TP)
+		}
+		// Both fixed-point equations hold.
+		if got := pair.Up.Eval(-dm); math.Abs(got-dm) > 1e-9 {
+			t.Errorf("δ↑(−δmin) = %g want %g", got, dm)
+		}
+		if got := pair.Down.Eval(-dm); math.Abs(got-dm) > 1e-9 {
+			t.Errorf("δ↓(−δmin) = %g want %g", got, dm)
+		}
+	}
+}
+
+func TestLemma1DerivativeIdentity(t *testing.T) {
+	// δ′↑(−δ↓(T)) = 1/δ′↓(T).
+	pair := mustPair(t, testParams)
+	for _, T := range Linspace(-1.0, 10, 50) {
+		if T <= pair.Down.DomainMin() {
+			continue
+		}
+		lhs := pair.Up.Deriv(-pair.Down.Eval(T))
+		rhs := 1 / pair.Down.Deriv(T)
+		if math.Abs(lhs-rhs) > 1e-6*(1+math.Abs(rhs)) {
+			t.Errorf("derivative identity fails at T=%g: %g vs %g", T, lhs, rhs)
+		}
+	}
+}
+
+func TestExpDerivMatchesNumeric(t *testing.T) {
+	pair := mustPair(t, testParams)
+	for _, T := range []float64{-1, -0.5, 0, 1, 5, 20} {
+		if T <= pair.Up.DomainMin()+0.01 {
+			continue
+		}
+		want := NumDeriv(pair.Up.Eval, T)
+		got := pair.Up.Deriv(T)
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("Deriv(%g) = %g, numeric %g", T, got, want)
+		}
+	}
+}
+
+func TestSymmetricExp(t *testing.T) {
+	pair, err := SymmetricExp(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range Linspace(-0.5, 5, 20) {
+		u, d := pair.Up.Eval(T), pair.Down.Eval(T)
+		if math.Abs(u-d) > 1e-12 {
+			t.Fatalf("symmetric channel branches differ at T=%g: %g vs %g", T, u, d)
+		}
+	}
+}
+
+func TestStrictlyCausal(t *testing.T) {
+	if !mustPair(t, testParams).StrictlyCausal() {
+		t.Fatal("exp channel with Tp>0 must be strictly causal")
+	}
+}
+
+func TestFromUpMatchesAnalyticDown(t *testing.T) {
+	pair := mustPair(t, testParams)
+	derived, err := FromUp(pair.Up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range Linspace(pair.Down.DomainMin()+0.05, 15, 60) {
+		want := pair.Down.Eval(T)
+		got := derived.Down.Eval(T)
+		if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Errorf("numeric δ↓(%g) = %g, analytic %g", T, got, want)
+		}
+	}
+	// Limits and domain of the derived branch.
+	if math.Abs(derived.Down.Limit()-pair.DownLimit()) > 1e-12 {
+		t.Errorf("derived limit %g want %g", derived.Down.Limit(), pair.DownLimit())
+	}
+	if math.Abs(derived.Down.DomainMin()-pair.Down.DomainMin()) > 1e-12 {
+		t.Errorf("derived domain %g want %g", derived.Down.DomainMin(), pair.Down.DomainMin())
+	}
+}
+
+func TestFromDownMatchesAnalyticUp(t *testing.T) {
+	pair := mustPair(t, testParams)
+	derived, err := FromDown(pair.Down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range Linspace(pair.Up.DomainMin()+0.05, 15, 60) {
+		want := pair.Up.Eval(T)
+		got := derived.Up.Eval(T)
+		if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Errorf("numeric δ↑(%g) = %g, analytic %g", T, got, want)
+		}
+	}
+}
+
+func TestFromUpDerivative(t *testing.T) {
+	pair := mustPair(t, testParams)
+	derived, _ := FromUp(pair.Up)
+	for _, T := range []float64{0, 1, 3} {
+		want := pair.Down.Deriv(T)
+		got := derived.Down.Deriv(T)
+		if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("derived Deriv(%g) = %g, analytic %g", T, got, want)
+		}
+	}
+}
+
+func TestFromUpRejectsInfiniteLimit(t *testing.T) {
+	if _, err := FromUp(infLimitFunc{}); err == nil {
+		t.Fatal("want error for infinite limit")
+	}
+	if _, err := FromDown(infLimitFunc{}); err == nil {
+		t.Fatal("want error for infinite limit")
+	}
+}
+
+type infLimitFunc struct{}
+
+func (infLimitFunc) Eval(T float64) float64  { return T }
+func (infLimitFunc) Deriv(T float64) float64 { return 1 }
+func (infLimitFunc) DomainMin() float64      { return math.Inf(-1) }
+func (infLimitFunc) Limit() float64          { return math.Inf(1) }
+
+func TestQuickExpInvolutionRandomParams(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := ExpParams{
+			Tau: 0.1 + 5*r.Float64(),
+			TP:  0.05 + 3*r.Float64(),
+			Vth: 0.05 + 0.9*r.Float64(),
+		}
+		pair, err := Exp(p)
+		if err != nil {
+			return false
+		}
+		// Keep the check range where the composition is well conditioned:
+		// the round-trip error amplifies like e^{(T+δ∞)/τ}.
+		lo := pair.Down.DomainMin() + 0.01*p.Tau
+		maxLim := math.Max(pair.UpLimit(), pair.DownLimit())
+		hi := math.Max(lo+0.1*p.Tau, 16*p.Tau-maxLim)
+		Ts := Linspace(lo, hi, 40)
+		if pair.CheckInvolution(Ts, 1e-7) != nil {
+			return false
+		}
+		dm, err := pair.DeltaMin()
+		return err == nil && math.Abs(dm-p.TP) < 1e-7*(1+p.TP)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-12 {
+		t.Fatalf("root = %v", root)
+	}
+	// Endpoint exactly zero.
+	if r, err := Bisect(func(x float64) float64 { return x }, 0, 1); err != nil || r != 0 {
+		t.Fatalf("Bisect endpoint root: %v %v", r, err)
+	}
+	if _, err := Bisect(func(x float64) float64 { return 1.0 }, 0, 1); err == nil {
+		t.Fatal("want bracketing error")
+	}
+	if _, err := Bisect(func(x float64) float64 { return math.NaN() }, 0, 1); err == nil {
+		t.Fatal("want NaN error")
+	}
+}
+
+func TestTableFunc(t *testing.T) {
+	pair := mustPair(t, testParams)
+	Ts := Linspace(-1.0, 10, 80)
+	samples := SampleFunc(pair.Down, Ts)
+	tf, err := NewTable(samples, pair.DownLimit(), pair.Down.DomainMin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolation error is small inside the sampled range (looser near the
+	// strongly curved domain edge).
+	for _, T := range Linspace(-0.5, 9.5, 97) {
+		want := pair.Down.Eval(T)
+		got := tf.Eval(T)
+		if math.Abs(got-want) > 5e-3*(1+math.Abs(want)) {
+			t.Errorf("table Eval(%g) = %g want %g", T, got, want)
+		}
+	}
+	// Right extrapolation is non-decreasing and never exceeds the limit
+	// (it reaches it only within float precision).
+	prev := tf.Eval(10)
+	for _, T := range Linspace(10.5, 40, 20) {
+		v := tf.Eval(T)
+		if v < prev || v > tf.Limit() {
+			t.Fatalf("extrapolation not monotone below limit at T=%g: %g", T, v)
+		}
+		prev = v
+	}
+	if v := tf.Eval(12); v <= tf.Eval(10.5) {
+		t.Fatalf("extrapolation must strictly increase at moderate range: %g <= %g", v, tf.Eval(10.5))
+	}
+	// Below domain.
+	if v := tf.Eval(tf.DomainMin() - 1); !math.IsInf(v, -1) {
+		t.Fatalf("below-domain Eval = %g", v)
+	}
+	if n := len(tf.Samples()); n != len(samples) {
+		t.Fatalf("Samples() len %d want %d", n, len(samples))
+	}
+}
+
+func TestNewTableErrors(t *testing.T) {
+	good := []Sample{{0, 1}, {1, 2}}
+	cases := []struct {
+		name    string
+		samples []Sample
+		limit   float64
+		dom     float64
+	}{
+		{"too few", good[:1], 10, math.Inf(-1)},
+		{"above limit", []Sample{{0, 1}, {1, 20}}, 10, math.Inf(-1)},
+		{"non-increasing T", []Sample{{0, 1}, {0, 2}}, 10, math.Inf(-1)},
+		{"non-increasing delta", []Sample{{0, 2}, {1, 1}}, 10, math.Inf(-1)},
+		{"below domain", good, 10, 0.5},
+	}
+	for _, c := range cases {
+		if _, err := NewTable(c.samples, c.limit, c.dom); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	if _, err := NewTable(good, 10, math.Inf(-1)); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+}
+
+func TestTableFromUpInvolution(t *testing.T) {
+	// An involution pair derived numerically from a tabulated branch still
+	// satisfies the involution identity (by construction).
+	pair := mustPair(t, testParams)
+	samples := SampleFunc(pair.Up, Linspace(-1.2, 12, 100))
+	tf, err := NewTable(samples, pair.UpLimit(), pair.Up.DomainMin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := FromUp(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A truncated table only attains a sub-range of values near its domain
+	// edge, so the identity is checked on offsets whose compositions stay
+	// within the attainable range.
+	if err := derived.CheckInvolution(Linspace(-0.5, 1.2, 20), 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-15 {
+			t.Fatalf("Linspace = %v", xs)
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Linspace n=1: %v", got)
+	}
+}
+
+func TestSampleFuncSkipsOutOfDomain(t *testing.T) {
+	pair := mustPair(t, testParams)
+	ts := []float64{pair.Up.DomainMin() - 1, pair.Up.DomainMin(), 0, 1}
+	got := SampleFunc(pair.Up, ts)
+	if len(got) != 2 {
+		t.Fatalf("want 2 in-domain samples, got %d", len(got))
+	}
+}
+
+func TestCheckInvolutionDetectsViolation(t *testing.T) {
+	pair := mustPair(t, testParams)
+	// Pair two branches from different channels: not an involution.
+	other := mustPair(t, ExpParams{Tau: 2, TP: 1, Vth: 0.3})
+	bad := Pair{Up: pair.Up, Down: other.Down}
+	if err := bad.CheckInvolution(Linspace(0, 5, 10), 1e-9); err == nil {
+		t.Fatal("mismatched pair must fail the involution check")
+	}
+}
+
+func TestCheckShapeDetectsViolation(t *testing.T) {
+	// A convex increasing function violates concavity.
+	bad := Pair{Up: convexFunc{}, Down: convexFunc{}}
+	if err := bad.CheckShape(Linspace(0.1, 5, 20)); err == nil {
+		t.Fatal("convex function must fail the shape check")
+	}
+}
+
+type convexFunc struct{}
+
+func (convexFunc) Eval(T float64) float64  { return T * T }
+func (convexFunc) Deriv(T float64) float64 { return 2 * T }
+func (convexFunc) DomainMin() float64      { return 0 }
+func (convexFunc) Limit() float64          { return math.Inf(1) }

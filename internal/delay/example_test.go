@@ -1,0 +1,39 @@
+package delay_test
+
+import (
+	"fmt"
+
+	"involution/internal/delay"
+)
+
+func ExampleExp() {
+	pair, _ := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.5})
+	fmt.Printf("δ↑∞ = %.4f\n", pair.UpLimit())
+	fmt.Printf("δ↑(0) = %.4f\n", pair.Up.Eval(0))
+	dmin, _ := pair.DeltaMin()
+	fmt.Printf("δmin = %.4f (= Tp for exp-channels)\n", dmin)
+	// Output:
+	// δ↑∞ = 1.1931
+	// δ↑(0) = 0.8318
+	// δmin = 0.5000 (= Tp for exp-channels)
+}
+
+func ExamplePair_CheckInvolution() {
+	pair, _ := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	err := pair.CheckInvolution(delay.Linspace(-1, 5, 50), 1e-9)
+	fmt.Println("involution property holds:", err == nil)
+	// Output:
+	// involution property holds: true
+}
+
+func ExampleFromUp() {
+	// Derive the δ↓ branch numerically from δ↑: the unique completion that
+	// makes the pair an involution.
+	exp, _ := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	pair, _ := delay.FromUp(exp.Up)
+	fmt.Printf("analytic δ↓(1) = %.6f\n", exp.Down.Eval(1))
+	fmt.Printf("numeric  δ↓(1) = %.6f\n", pair.Down.Eval(1))
+	// Output:
+	// analytic δ↓(1) = 0.917337
+	// numeric  δ↓(1) = 0.917337
+}

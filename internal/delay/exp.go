@@ -1,0 +1,95 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpParams parametrizes an exp-channel: the involution channel obtained
+// when a gate drives an RC load and digital transitions are generated at a
+// threshold voltage Vth (normalized to the supply voltage VDD).
+//
+// The branches are
+//
+//	δ↑(T) = τ ln(1 − e^{−(T+δ↓∞)/τ}) + δ↑∞
+//	δ↓(T) = τ ln(1 − e^{−(T+δ↑∞)/τ}) + δ↓∞
+//
+// with δ↑∞ = Tp − τ ln(1−Vth) and δ↓∞ = Tp − τ ln(Vth). For exp-channels
+// δmin = Tp (Lemma 1).
+type ExpParams struct {
+	Tau float64 // RC time constant τ > 0
+	TP  float64 // pure-delay component Tp > 0
+	Vth float64 // normalized threshold voltage in (0, 1)
+}
+
+// Validate checks the parameter ranges.
+func (p ExpParams) Validate() error {
+	if !(p.Tau > 0) || math.IsInf(p.Tau, 0) {
+		return fmt.Errorf("delay: exp-channel τ = %g must be positive and finite", p.Tau)
+	}
+	if !(p.TP > 0) || math.IsInf(p.TP, 0) {
+		return fmt.Errorf("delay: exp-channel Tp = %g must be positive and finite", p.TP)
+	}
+	if !(p.Vth > 0 && p.Vth < 1) {
+		return fmt.Errorf("delay: exp-channel Vth = %g must be in (0,1)", p.Vth)
+	}
+	return nil
+}
+
+// UpLimit returns δ↑∞ = Tp − τ ln(1−Vth).
+func (p ExpParams) UpLimit() float64 { return p.TP - p.Tau*math.Log(1-p.Vth) }
+
+// DownLimit returns δ↓∞ = Tp − τ ln(Vth).
+func (p ExpParams) DownLimit() float64 { return p.TP - p.Tau*math.Log(p.Vth) }
+
+// expFunc is one branch of an exp-channel: f(T) = limit + τ ln(1 − e^{−(T+dom)/τ}).
+type expFunc struct {
+	tau   float64
+	dom   float64 // −DomainMin: δ∞ of the opposite branch
+	limit float64 // own δ∞
+}
+
+func (f expFunc) Eval(T float64) float64 {
+	x := (T + f.dom) / f.tau
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	// log1p(-exp(-x)) is accurate for both small and large x.
+	return f.limit + f.tau*math.Log1p(-math.Exp(-x))
+}
+
+func (f expFunc) Deriv(T float64) float64 {
+	x := (T + f.dom) / f.tau
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / math.Expm1(x)
+}
+
+func (f expFunc) DomainMin() float64 { return -f.dom }
+func (f expFunc) Limit() float64     { return f.limit }
+
+// Exp returns the involution pair of an exp-channel with the given
+// parameters.
+func Exp(p ExpParams) (Pair, error) {
+	if err := p.Validate(); err != nil {
+		return Pair{}, err
+	}
+	up := expFunc{tau: p.Tau, dom: p.DownLimit(), limit: p.UpLimit()}
+	down := expFunc{tau: p.Tau, dom: p.UpLimit(), limit: p.DownLimit()}
+	return Pair{Up: up, Down: down}, nil
+}
+
+// MustExp is Exp but panics on invalid parameters.
+func MustExp(p ExpParams) Pair {
+	pair, err := Exp(p)
+	if err != nil {
+		panic(err)
+	}
+	return pair
+}
+
+// SymmetricExp returns an exp-channel with Vth = 1/2, for which δ↑ = δ↓.
+func SymmetricExp(tau, tp float64) (Pair, error) {
+	return Exp(ExpParams{Tau: tau, TP: tp, Vth: 0.5})
+}

@@ -1,0 +1,113 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+)
+
+// inverseFunc is the branch −f⁻¹(−T) derived from a strictly increasing
+// branch f. If f is a valid δ↑ branch, the derived function is the unique δ↓
+// making the pair an involution, since −δ↓(−δ↑(T)) = T forces
+// δ↓(T) = −δ↑⁻¹(−T).
+type inverseFunc struct {
+	f Func
+}
+
+func (g inverseFunc) Eval(T float64) float64 {
+	y := -T
+	if y >= g.f.Limit() {
+		return math.Inf(-1)
+	}
+	x, err := invert(g.f, y)
+	if err != nil {
+		return math.NaN()
+	}
+	return -x
+}
+
+func (g inverseFunc) Deriv(T float64) float64 {
+	y := -T
+	if y >= g.f.Limit() {
+		return math.Inf(1)
+	}
+	x, err := invert(g.f, y)
+	if err != nil {
+		return math.NaN()
+	}
+	d := g.f.Deriv(x)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return 1 / d
+}
+
+func (g inverseFunc) DomainMin() float64 { return -g.f.Limit() }
+func (g inverseFunc) Limit() float64     { return -g.f.DomainMin() }
+
+// invert solves f(x) = y for a strictly increasing f with y < f.Limit().
+func invert(f Func, y float64) (float64, error) {
+	lo := f.DomainMin()
+	var hi float64
+	if math.IsInf(lo, -1) {
+		// Expand a bracket around 0.
+		lo, hi = -1, 1
+		for f.Eval(lo) > y {
+			lo *= 2
+			if lo < -1e18 {
+				return 0, fmt.Errorf("delay: inverse bracket expansion failed (lo) for y=%g", y)
+			}
+		}
+		for f.Eval(hi) < y {
+			hi *= 2
+			if hi > 1e18 {
+				return 0, fmt.Errorf("delay: inverse bracket expansion failed (hi) for y=%g", y)
+			}
+		}
+	} else {
+		// Domain is (lo, ∞); start just above lo and expand right.
+		span := 1.0
+		hi = lo + span
+		for f.Eval(hi) < y {
+			span *= 2
+			hi = lo + span
+			if span > 1e18 {
+				return 0, fmt.Errorf("delay: inverse bracket expansion failed for y=%g", y)
+			}
+		}
+	}
+	// Bisection refined to near machine precision.
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid <= f.DomainMin() {
+			mid = math.Nextafter(f.DomainMin(), math.Inf(1))
+		}
+		if f.Eval(mid) < y {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-15*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// FromUp builds an involution pair from a δ↑ branch: δ↓ is derived
+// numerically as −δ↑⁻¹(−T). The branch must be strictly increasing with a
+// finite limit.
+func FromUp(up Func) (Pair, error) {
+	if math.IsInf(up.Limit(), 0) || math.IsNaN(up.Limit()) {
+		return Pair{}, fmt.Errorf("delay: FromUp requires a finite limit, got %g", up.Limit())
+	}
+	return Pair{Up: up, Down: inverseFunc{f: up}}, nil
+}
+
+// FromDown builds an involution pair from a δ↓ branch; δ↑ is derived
+// numerically.
+func FromDown(down Func) (Pair, error) {
+	if math.IsInf(down.Limit(), 0) || math.IsNaN(down.Limit()) {
+		return Pair{}, fmt.Errorf("delay: FromDown requires a finite limit, got %g", down.Limit())
+	}
+	return Pair{Up: inverseFunc{f: down}, Down: down}, nil
+}

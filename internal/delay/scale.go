@@ -1,0 +1,40 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+)
+
+// scaledFunc is the time-scaled branch k·f(T/k).
+type scaledFunc struct {
+	f Func
+	k float64
+}
+
+// Scale returns the pair time-scaled by k > 0: δ'(T) = k·δ(T/k) for both
+// branches. Scaling preserves the involution property
+// (−k·δ↑(−k·δ↓(T/k)/k) = k·(T/k) = T), strict causality, monotonicity and
+// concavity; limits and δmin scale by k. Use it to convert a calibrated
+// channel between units (e.g. ps → ns) or to derive a slowed/sped-up
+// corner from a nominal characterization.
+func Scale(p Pair, k float64) (Pair, error) {
+	if !(k > 0) || math.IsInf(k, 0) {
+		return Pair{}, fmt.Errorf("delay: scale factor %g must be positive and finite", k)
+	}
+	if p.Up == nil || p.Down == nil {
+		return Pair{}, fmt.Errorf("delay: Scale needs both branches")
+	}
+	return Pair{Up: scaledFunc{f: p.Up, k: k}, Down: scaledFunc{f: p.Down, k: k}}, nil
+}
+
+func (s scaledFunc) Eval(T float64) float64 {
+	return s.k * s.f.Eval(T/s.k)
+}
+
+func (s scaledFunc) Deriv(T float64) float64 {
+	return s.f.Deriv(T / s.k)
+}
+
+func (s scaledFunc) DomainMin() float64 { return s.k * s.f.DomainMin() }
+
+func (s scaledFunc) Limit() float64 { return s.k * s.f.Limit() }

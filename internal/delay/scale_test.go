@@ -1,0 +1,91 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleValidation(t *testing.T) {
+	pair := MustExp(ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	for _, k := range []float64{0, -1, math.Inf(1)} {
+		if _, err := Scale(pair, k); err == nil {
+			t.Errorf("Scale(%g): want error", k)
+		}
+	}
+	if _, err := Scale(Pair{}, 2); err == nil {
+		t.Error("empty pair must fail")
+	}
+}
+
+func TestScaleMatchesScaledExpChannel(t *testing.T) {
+	// Scaling an exp-channel by k equals the exp-channel with τ, Tp scaled
+	// by k (Vth is dimensionless).
+	p := ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}
+	base := MustExp(p)
+	k := 2.5
+	scaled, err := Scale(base, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustExp(ExpParams{Tau: p.Tau * k, TP: p.TP * k, Vth: p.Vth})
+	for _, T := range Linspace(scaled.Up.DomainMin()+0.01, 20, 80) {
+		if got, w := scaled.Up.Eval(T), want.Up.Eval(T); math.Abs(got-w) > 1e-9*(1+math.Abs(w)) {
+			t.Errorf("δ↑(%g) = %g want %g", T, got, w)
+		}
+		if got, w := scaled.Down.Eval(T), want.Down.Eval(T); math.Abs(got-w) > 1e-9*(1+math.Abs(w)) {
+			t.Errorf("δ↓(%g) = %g want %g", T, got, w)
+		}
+	}
+	if math.Abs(scaled.UpLimit()-k*base.UpLimit()) > 1e-12 {
+		t.Errorf("limit %g want %g", scaled.UpLimit(), k*base.UpLimit())
+	}
+	if math.Abs(scaled.Up.DomainMin()-k*base.Up.DomainMin()) > 1e-12 {
+		t.Errorf("domain %g want %g", scaled.Up.DomainMin(), k*base.Up.DomainMin())
+	}
+}
+
+func TestQuickScalePreservesInvolutionAndScalesDeltaMin(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := ExpParams{Tau: 0.3 + 2*r.Float64(), TP: 0.1 + r.Float64(), Vth: 0.2 + 0.6*r.Float64()}
+		k := 0.1 + 5*r.Float64()
+		base, err := Exp(p)
+		if err != nil {
+			return false
+		}
+		scaled, err := Scale(base, k)
+		if err != nil {
+			return false
+		}
+		lo := scaled.Down.DomainMin() + 0.01*k*p.Tau
+		hi := math.Max(lo+0.1*k*p.Tau, 16*k*p.Tau-k*math.Max(p.UpLimit(), p.DownLimit()))
+		if scaled.CheckInvolution(Linspace(lo, hi, 20), 1e-6*(1+k)) != nil {
+			return false
+		}
+		dm, err := scaled.DeltaMin()
+		if err != nil {
+			return false
+		}
+		return math.Abs(dm-k*p.TP) < 1e-7*(1+k*p.TP)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleDerivativeChainRule(t *testing.T) {
+	pair := MustExp(ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	scaled, err := Scale(pair, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range []float64{-1, 0, 2, 6} {
+		want := NumDeriv(scaled.Up.Eval, T)
+		if got := scaled.Up.Deriv(T); math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("Deriv(%g) = %g numeric %g", T, got, want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one measured point of a delay function: input-to-output delay
+// Delta observed at previous-output-to-input offset T.
+type Sample struct {
+	T     float64
+	Delta float64
+}
+
+// SortSamples sorts samples by T in place.
+func SortSamples(s []Sample) {
+	sort.Slice(s, func(i, j int) bool { return s[i].T < s[j].T })
+}
+
+// TableFunc is a delay branch defined by measured samples with piecewise
+// linear interpolation inside the sampled range, linear extrapolation with
+// the first segment's slope on the left, and a concave exponential approach
+// to Limit on the right (continuous with matching slope at the last sample).
+//
+// TableFunc supports representing measured (non-involution) delay data; to
+// obtain a faithful involution pair from a measured branch, pass it to
+// FromUp or FromDown.
+type TableFunc struct {
+	samples []Sample
+	limit   float64
+	domMin  float64
+}
+
+// NewTable builds a TableFunc. The samples must contain at least two points,
+// have strictly increasing T and strictly increasing Delta, and every Delta
+// must be below limit. domainMin is the open lower domain bound (use
+// math.Inf(-1) if unrestricted); every sample T must exceed it.
+func NewTable(samples []Sample, limit, domainMin float64) (TableFunc, error) {
+	if len(samples) < 2 {
+		return TableFunc{}, fmt.Errorf("delay: table needs ≥ 2 samples, got %d", len(samples))
+	}
+	cp := make([]Sample, len(samples))
+	copy(cp, samples)
+	SortSamples(cp)
+	for i, s := range cp {
+		if s.T <= domainMin {
+			return TableFunc{}, fmt.Errorf("delay: sample T=%g at or below domain min %g", s.T, domainMin)
+		}
+		if s.Delta >= limit {
+			return TableFunc{}, fmt.Errorf("delay: sample δ=%g at or above limit %g", s.Delta, limit)
+		}
+		if i > 0 {
+			if s.T <= cp[i-1].T {
+				return TableFunc{}, fmt.Errorf("delay: duplicate or non-increasing sample T=%g", s.T)
+			}
+			if s.Delta <= cp[i-1].Delta {
+				return TableFunc{}, fmt.Errorf("delay: non-increasing sample δ=%g at T=%g", s.Delta, s.T)
+			}
+		}
+	}
+	return TableFunc{samples: cp, limit: limit, domMin: domainMin}, nil
+}
+
+func (f TableFunc) slope(i int) float64 {
+	a, b := f.samples[i], f.samples[i+1]
+	return (b.Delta - a.Delta) / (b.T - a.T)
+}
+
+// Eval interpolates the table at T.
+func (f TableFunc) Eval(T float64) float64 {
+	if T <= f.domMin {
+		return math.Inf(-1)
+	}
+	n := len(f.samples)
+	first, last := f.samples[0], f.samples[n-1]
+	switch {
+	case T <= first.T:
+		return first.Delta + f.slope(0)*(T-first.T)
+	case T >= last.T:
+		gap := f.limit - last.Delta
+		s := f.slope(n - 2)
+		return f.limit - gap*math.Exp(-s*(T-last.T)/gap)
+	}
+	i := sort.Search(n, func(i int) bool { return f.samples[i].T > T }) - 1
+	a := f.samples[i]
+	return a.Delta + f.slope(i)*(T-a.T)
+}
+
+// Deriv returns the numeric derivative of the interpolant.
+func (f TableFunc) Deriv(T float64) float64 {
+	return NumDeriv(f.Eval, T)
+}
+
+// DomainMin returns the configured open lower domain bound.
+func (f TableFunc) DomainMin() float64 { return f.domMin }
+
+// Limit returns the configured δ∞.
+func (f TableFunc) Limit() float64 { return f.limit }
+
+// Samples returns a copy of the sorted sample points.
+func (f TableFunc) Samples() []Sample {
+	cp := make([]Sample, len(f.samples))
+	copy(cp, f.samples)
+	return cp
+}
+
+// SampleFunc evaluates a branch at the given offsets, skipping offsets at or
+// below the domain minimum.
+func SampleFunc(f Func, Ts []float64) []Sample {
+	out := make([]Sample, 0, len(Ts))
+	for _, T := range Ts {
+		if T <= f.DomainMin() {
+			continue
+		}
+		out = append(out, Sample{T: T, Delta: f.Eval(T)})
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

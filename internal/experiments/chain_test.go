@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestChainCheck(t *testing.T) {
+	p := DefaultChainParams()
+	v, err := ChainCheck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deterministic digital model matches the (first-order) analog
+	// chain to integration accuracy: the exp-channel formulas are exact
+	// for threshold-plus-RC stages.
+	if tol := 3 * p.Dt * float64(p.Stages); v.MaxAbsError > tol {
+		t.Errorf("deterministic crossing error %g exceeds %g", v.MaxAbsError, tol)
+	}
+	// The η envelope brackets the supply-perturbed analog chain.
+	if v.Transitions == 0 {
+		t.Fatal("no transitions compared")
+	}
+	if v.EnvelopeViolations != 0 {
+		t.Errorf("%d of %d noisy crossings escape the η envelope", v.EnvelopeViolations, v.Transitions)
+	}
+}
+
+func TestChainCheckTightEtaFails(t *testing.T) {
+	// Sanity check of the methodology: with an η envelope far smaller than
+	// the supply-noise effect, bracketing must fail — the check is not
+	// vacuous.
+	p := DefaultChainParams()
+	p.Eta.Plus, p.Eta.Minus = 1e-5, 1e-5
+	p.SineAmp = 0.05
+	v, err := ChainCheck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.EnvelopeViolations == 0 {
+		t.Fatal("tiny η must not cover 5% supply noise")
+	}
+}

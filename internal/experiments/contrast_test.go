@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestUnfaithfulnessContrast(t *testing.T) {
+	gaps := []float64{1e-1, 1e-3, 1e-5, 1e-7}
+	rows, err := UnfaithfulnessContrast(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(gaps) {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// The inertial (bounded single-history) loop settles within a constant
+	// bound for every gap …
+	var maxInertial float64
+	for _, r := range rows {
+		if r.InertialSettle > maxInertial {
+			maxInertial = r.InertialSettle
+		}
+	}
+	for _, r := range rows {
+		if r.InertialSettle > 5 {
+			t.Errorf("gap %g: inertial settle %g not constant-bounded", r.Gap, r.InertialSettle)
+		}
+	}
+	// … while the involution loop's settle time and pulse count grow
+	// strictly as the gap shrinks.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].InvolutionSettle <= rows[i-1].InvolutionSettle {
+			t.Errorf("involution settle must grow: gap %g → %g, settle %g → %g",
+				rows[i-1].Gap, rows[i].Gap, rows[i-1].InvolutionSettle, rows[i].InvolutionSettle)
+		}
+		if rows[i].InvolutionPulses <= rows[i-1].InvolutionPulses {
+			t.Errorf("involution pulses must grow: %d → %d", rows[i-1].InvolutionPulses, rows[i].InvolutionPulses)
+		}
+	}
+	// The separation is dramatic at tiny gaps.
+	last := rows[len(rows)-1]
+	if last.InvolutionSettle < 3*maxInertial {
+		t.Errorf("expected clear separation: involution %g vs inertial %g", last.InvolutionSettle, maxInertial)
+	}
+}

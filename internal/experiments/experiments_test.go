@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"involution/internal/core"
+	"involution/internal/fit"
+)
+
+func TestFig2(t *testing.T) {
+	in, out, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 6 {
+		t.Fatalf("input %v", in)
+	}
+	// The clearly-too-short third pulse cancels; two pulses survive.
+	pulses := out.Pulses()
+	if len(pulses) != 2 {
+		t.Fatalf("want 2 surviving pulses, got %v", out)
+	}
+	// Attenuation: the borderline second pulse is shorter at the output.
+	inPulses := in.Pulses()
+	if !(pulses[1].Len() < inPulses[1].Len()) {
+		t.Fatalf("second pulse not attenuated: in %g out %g", inPulses[1].Len(), pulses[1].Len())
+	}
+}
+
+func TestFig4(t *testing.T) {
+	in, det, out1, out2, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 4 {
+		t.Fatalf("input %v", in)
+	}
+	// Deterministically the borderline pulse cancels…
+	if len(det.Pulses()) != 1 {
+		t.Fatalf("deterministic output %v", det)
+	}
+	// …out1 shifts the surviving pulse; out2 de-cancels the second pulse.
+	if len(out2.Pulses()) != 2 {
+		t.Fatalf("out2 must de-cancel: %v", out2)
+	}
+	if out1.Equal(det, 1e-12) || out1.Equal(out2, 1e-12) {
+		t.Fatal("the three outputs must differ")
+	}
+}
+
+func TestThm9SweepSmall(t *testing.T) {
+	rows, sys, err := Thm9Sweep(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7*4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if err := VerifyThm9(rows); err != nil {
+		t.Fatal(err)
+	}
+	// All three regimes are exercised by the sweep.
+	seen := map[core.Regime]bool{}
+	for _, r := range rows {
+		seen[r.Predicted] = true
+	}
+	if !seen[core.RegimeCancel] || !seen[core.RegimeMetastable] || !seen[core.RegimeLock] {
+		t.Fatalf("sweep missed a regime: %v", seen)
+	}
+	if sys.Analysis.Gamma >= 1 {
+		t.Fatal("γ̄ must be < 1")
+	}
+}
+
+func TestFig7CurvesOrdered(t *testing.T) {
+	curves, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 6 {
+		t.Fatalf("want 6 supply curves, got %d", len(curves))
+	}
+	// Lower supply → larger δ everywhere: compare curve medians.
+	med := func(c Curve) float64 {
+		if len(c.Points) == 0 {
+			t.Fatalf("curve %s empty", c.Name)
+		}
+		sum := 0.0
+		for _, p := range c.Points {
+			sum += p.Y
+		}
+		return sum / float64(len(c.Points))
+	}
+	for i := 1; i < len(curves); i++ {
+		if !(med(curves[i-1]) > med(curves[i])) {
+			t.Fatalf("curve %s (mean %g) not slower than %s (mean %g)",
+				curves[i-1].Name, med(curves[i-1]), curves[i].Name, med(curves[i]))
+		}
+	}
+}
+
+func TestFig8aSupplyNoiseCoveredAtLowT(t *testing.T) {
+	res, err := Fig8a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Up) == 0 || len(res.Down) == 0 {
+		t.Fatal("no deviation samples")
+	}
+	// The paper's headline: small supply noise is fully covered by the
+	// feasible η band for low T (the faithfulness-relevant region).
+	if res.CoverLowT < 1 {
+		t.Fatalf("low-T coverage %g (band %+v, max|D| %g)", res.CoverLowT, res.Band, res.MaxAbsLowT)
+	}
+	// Fig. 8a's asymmetry: the discharge branch (δ↑, rising input) barely
+	// reacts to supply noise, the charging branch (δ↓) dominates.
+	if !(res.MaxAbsUp < 0.5*res.MaxAbsDown) {
+		t.Fatalf("branch asymmetry missing: max|D| up %g vs down %g", res.MaxAbsUp, res.MaxAbsDown)
+	}
+}
+
+func TestFig8WidthVariationsOpposedSigns(t *testing.T) {
+	bRes, err := Fig8b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRes, err := Fig8c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wider transistors are faster (D < 0), narrower slower (D > 0): the
+	// two traces sit on opposite sides of D = 0 (cf. Fig. 8b/c).
+	mean := func(res Fig8Result) float64 {
+		sum, n := 0.0, 0
+		for _, p := range res.Down {
+			sum += p.D
+			n++
+		}
+		return sum / float64(n)
+	}
+	if !(mean(bRes) < 0) {
+		t.Errorf("width +10%% mean deviation %g, want negative (faster)", mean(bRes))
+	}
+	if !(mean(cRes) > 0) {
+		t.Errorf("width −10%% mean deviation %g, want positive (slower)", mean(cRes))
+	}
+}
+
+func TestFig9FitQuality(t *testing.T) {
+	res, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE <= 0 {
+		t.Fatal("fit must leave residuals on a non-involution response")
+	}
+	// The paper's Fig. 9 shape: minor mispredictions near T = 0 — fully
+	// covered by the feasible η band — while excessive deviations occur
+	// for large T only, where they exceed the band.
+	if res.CoverLowT < 1 {
+		t.Fatalf("low-T coverage %g; mispredictions near T=0 must stay within η", res.CoverLowT)
+	}
+	if res.CoverAll >= 1 {
+		t.Fatalf("overall coverage %g; large-T deviations must exceed the η band", res.CoverAll)
+	}
+	// Every band violation lies beyond the faithfulness-relevant region
+	// T ≤ δmin ("excessive deviations occur for large values of T only").
+	for _, p := range append(append([]fit.DevPoint{}, res.Up...), res.Down...) {
+		if !res.Band.Contains(p.D) && p.T <= res.DeltaMin {
+			t.Fatalf("band violation at small T=%g (D=%g)", p.T, p.D)
+		}
+	}
+}
+
+func TestSPFCheckConditions(t *testing.T) {
+	cc, sys, err := SPFCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.WellFormed || !cc.NoGeneration || !cc.Nontrivial || !cc.NoShortPulse {
+		t.Fatalf("F1–F4: %+v", cc)
+	}
+	if !math.IsInf(cc.Epsilon, 1) {
+		t.Errorf("expected no output pulses at all, ε = %g", cc.Epsilon)
+	}
+	if sys.Analysis.DeltaBar >= sys.Analysis.DeltaMin {
+		t.Error("Δ̄ < δmin must hold")
+	}
+}

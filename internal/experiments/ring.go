@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"involution/internal/adversary"
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/gate"
+	"involution/internal/signal"
+	"involution/internal/sim"
+)
+
+// Ring-oscillator jitter: the paper motivates η as covering "phase noise
+// and jitter in digital electronics" (Calosso & Rubiola). A free-running
+// ring of inverters with η-involution stage channels makes that concrete:
+// every stage delay carries a bounded perturbation, so the oscillation
+// period jitters within an envelope set by the per-stage η bounds, while
+// the deterministic (η = 0) ring is perfectly periodic.
+
+// RingParams configures the ring experiment.
+type RingParams struct {
+	Stages  int // inverting stages in the loop, incl. the kick-start NOR (must be odd)
+	Exp     delay.ExpParams
+	Eta     adversary.Eta
+	Horizon float64
+}
+
+// DefaultRingParams returns a 5-stage ring with the reference channel.
+func DefaultRingParams() RingParams {
+	return RingParams{
+		Stages:  5,
+		Exp:     ReferenceExp,
+		Eta:     ReferenceEta,
+		Horizon: 400,
+	}
+}
+
+// RingStats summarizes the observed oscillation.
+type RingStats struct {
+	Periods  []float64 // rising-to-rising intervals at the NOR output
+	Mean     float64
+	Min, Max float64
+	StdDev   float64
+	// Envelope is the first-order per-period jitter budget: each period
+	// crosses 2·Stages channels, each perturbed within [−η⁻, η⁺]. The
+	// T-dependence of the delay functions couples consecutive stage
+	// delays, so realized shifts can exceed this by a bounded factor
+	// (late transitions shorten the recovery offset T of the next stage,
+	// which amplifies the perturbation).
+	Envelope float64
+}
+
+// RunRing simulates the free-running ring under the given adversary
+// factory and extracts the period statistics (the first period is dropped
+// as start-up transient).
+func RunRing(p RingParams, mk func() adversary.Strategy) (RingStats, error) {
+	if p.Stages < 3 || p.Stages%2 == 0 {
+		return RingStats{}, fmt.Errorf("experiments: ring needs an odd stage count ≥ 3, got %d", p.Stages)
+	}
+	pair, err := delay.Exp(p.Exp)
+	if err != nil {
+		return RingStats{}, err
+	}
+	c := circuit.New("ring")
+	if err := c.AddInput("i"); err != nil {
+		return RingStats{}, err
+	}
+	if err := c.AddOutput("o"); err != nil {
+		return RingStats{}, err
+	}
+	// Kick-start NOR (acts as an inverter with i = 0) plus Stages−1 NOTs.
+	if err := c.AddGate("s0", gate.Nor(2), signal.Low); err != nil {
+		return RingStats{}, err
+	}
+	if err := c.Connect("i", "s0", 0, nil); err != nil {
+		return RingStats{}, err
+	}
+	mkModel := func() (channel.Model, error) {
+		ch, err := core.New(pair, p.Eta)
+		if err != nil {
+			return nil, err
+		}
+		return channel.NewInvolution(ch, mk)
+	}
+	prev := "s0"
+	val := signal.High
+	for k := 1; k < p.Stages; k++ {
+		name := fmt.Sprintf("s%d", k)
+		if err := c.AddGate(name, gate.Not(), val); err != nil {
+			return RingStats{}, err
+		}
+		m, err := mkModel()
+		if err != nil {
+			return RingStats{}, err
+		}
+		if err := c.Connect(prev, name, 0, m); err != nil {
+			return RingStats{}, err
+		}
+		prev = name
+		val = val.Not()
+	}
+	loop, err := mkModel()
+	if err != nil {
+		return RingStats{}, err
+	}
+	if err := c.Connect(prev, "s0", 1, loop); err != nil {
+		return RingStats{}, err
+	}
+	if err := c.Connect("s0", "o", 0, nil); err != nil {
+		return RingStats{}, err
+	}
+
+	res, err := sim.Run(c, map[string]signal.Signal{"i": signal.Zero()},
+		sim.Options{Horizon: p.Horizon, MaxEvents: 1 << 22})
+	if err != nil {
+		return RingStats{}, err
+	}
+	out := res.Signals["o"]
+	var rises []float64
+	for _, tr := range out.Transitions() {
+		if tr.Rising() {
+			rises = append(rises, tr.At)
+		}
+	}
+	if len(rises) < 4 {
+		return RingStats{}, fmt.Errorf("experiments: ring produced only %d rising transitions", len(rises))
+	}
+	st := RingStats{Min: math.Inf(1), Max: math.Inf(-1), Envelope: 2 * float64(p.Stages) * p.Eta.Width()}
+	// Drop the start-up transient: the period converges geometrically to
+	// the loop's operating point over the first few laps.
+	first := 6
+	if first >= len(rises)-1 {
+		first = len(rises) / 2
+	}
+	for i := first; i < len(rises); i++ {
+		per := rises[i] - rises[i-1]
+		st.Periods = append(st.Periods, per)
+		st.Mean += per
+		st.Min = math.Min(st.Min, per)
+		st.Max = math.Max(st.Max, per)
+	}
+	st.Mean /= float64(len(st.Periods))
+	for _, per := range st.Periods {
+		st.StdDev += (per - st.Mean) * (per - st.Mean)
+	}
+	st.StdDev = math.Sqrt(st.StdDev / float64(len(st.Periods)))
+	return st, nil
+}

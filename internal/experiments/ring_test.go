@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"involution/internal/adversary"
+)
+
+func TestRingValidation(t *testing.T) {
+	p := DefaultRingParams()
+	p.Stages = 4
+	if _, err := RunRing(p, nil); err == nil {
+		t.Fatal("even stage count must fail")
+	}
+	p.Stages = 1
+	if _, err := RunRing(p, nil); err == nil {
+		t.Fatal("single stage must fail")
+	}
+}
+
+func TestRingDeterministicIsPeriodic(t *testing.T) {
+	p := DefaultRingParams()
+	p.Eta = adversary.Eta{}
+	st, err := RunRing(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Periods) < 10 {
+		t.Fatalf("only %d periods", len(st.Periods))
+	}
+	// η = 0: periodic after the transient (the residual is the geometric
+	// convergence tail toward the loop's operating point).
+	if st.Max-st.Min > 1e-6 {
+		t.Fatalf("deterministic ring jitters: min %g max %g", st.Min, st.Max)
+	}
+	// The period is of the order of 2·Stages·δ(loop operating point): it
+	// must exceed twice the per-stage minimum delay times the stage count.
+	dmin := p.Exp.TP
+	if st.Mean < 2*float64(p.Stages)*dmin {
+		t.Fatalf("period %g implausibly small", st.Mean)
+	}
+}
+
+func TestRingJitterBoundedByEtaEnvelope(t *testing.T) {
+	p := DefaultRingParams()
+	det, err := RunRing(p, nil) // zero adversary baseline
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	noisy, err := RunRing(p, func() adversary.Strategy { return adversary.Uniform{Rng: rng} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.StdDev == 0 {
+		t.Fatal("noisy ring shows no jitter")
+	}
+	// Every observed period stays within the deterministic period ± the
+	// per-period η budget (2·Stages channel traversals), with slack for
+	// the T-coupling between consecutive stage delays.
+	slack := 1.5 * noisy.Envelope
+	if noisy.Min < det.Mean-slack || noisy.Max > det.Mean+slack {
+		t.Fatalf("periods [%g, %g] escape %g ± %g", noisy.Min, noisy.Max, det.Mean, slack)
+	}
+	// The jitter is a visible fraction of the budget.
+	if noisy.Max-noisy.Min < 0.05*noisy.Envelope {
+		t.Fatalf("jitter %g implausibly small vs budget %g", noisy.Max-noisy.Min, noisy.Envelope)
+	}
+}
+
+func TestRingWorstCaseAdversariesShiftPeriod(t *testing.T) {
+	// All-late choices slow the ring; all-early choices speed it up.
+	p := DefaultRingParams()
+	det, err := RunRing(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := RunRing(p, func() adversary.Strategy {
+		return adversary.Func(func(e adversary.Eta, _ adversary.Context) float64 { return e.Plus })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := RunRing(p, func() adversary.Strategy {
+		return adversary.Func(func(e adversary.Eta, _ adversary.Context) float64 { return -e.Minus })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(early.Mean < det.Mean && det.Mean < late.Mean) {
+		t.Fatalf("period ordering wrong: early %g det %g late %g", early.Mean, det.Mean, late.Mean)
+	}
+	// Shift magnitudes are of the order of the first-order budget
+	// (2·Stages·η per direction), amplified by a bounded factor through
+	// the T-coupling of consecutive stage delays.
+	lateBudget := 2 * float64(p.Stages) * p.Eta.Plus
+	earlyBudget := 2 * float64(p.Stages) * p.Eta.Minus
+	if s := late.Mean - det.Mean; s < 0.5*lateBudget || s > 3*lateBudget {
+		t.Fatalf("late shift %g outside [%g, %g]", s, 0.5*lateBudget, 3*lateBudget)
+	}
+	if s := det.Mean - early.Mean; s < 0.5*earlyBudget || s > 3*earlyBudget {
+		t.Fatalf("early shift %g outside [%g, %g]", s, 0.5*earlyBudget, 3*earlyBudget)
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"involution/internal/adversary"
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+func worstStrategy() adversary.Strategy { return adversary.MinUpTime{} }
+
+func TestSRLatchClearCases(t *testing.T) {
+	eta := ReferenceEta
+	// Reset released much later than set → reset still asserted while the
+	// set side regenerates → q resolves low... and vice versa. Verify the
+	// two clear outcomes are opposite and stable.
+	late, err := SRLatchRelease(eta, 0.9, worstStrategy, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := SRLatchRelease(eta, -0.9, worstStrategy, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.State == early.State {
+		t.Fatalf("clear releases must resolve to opposite states: %v vs %v", late.State, early.State)
+	}
+	if late.Transitions > 3 || early.Transitions > 3 {
+		t.Fatalf("clear releases must settle without long oscillation: %d/%d transitions",
+			late.Transitions, early.Transitions)
+	}
+}
+
+func TestSRLatchSweepMonotoneOutcome(t *testing.T) {
+	eta := ReferenceEta
+	offsets := delay.Linspace(-0.8, 0.8, 17)
+	rows, err := SRLatchSweep(eta, offsets, worstStrategy, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outcomes must include both states across the sweep.
+	saw := map[signal.Value]bool{}
+	for _, r := range rows {
+		saw[r.State] = true
+	}
+	if !saw[signal.Low] || !saw[signal.High] {
+		t.Fatalf("sweep must cross the balance point: %+v", saw)
+	}
+}
+
+func TestSRLatchMetastabilityNearBoundary(t *testing.T) {
+	eta := ReferenceEta
+	boundary, maxSettle, err := SRLatchBoundary(eta, worstStrategy, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(boundary) > 1 {
+		t.Fatalf("balance point %g outside the sweep window", boundary)
+	}
+	// During the bisection the latch was driven arbitrarily close to
+	// balance: long resolution chains must have appeared.
+	if maxSettle < 10 {
+		t.Fatalf("no deep metastability observed near the balance point (max settle %g)", maxSettle)
+	}
+	// Right at the numerically closest offsets the oscillation is long.
+	r, err := SRLatchRelease(eta, boundary, worstStrategy, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Transitions < 6 {
+		t.Fatalf("balance release produced only %d transitions", r.Transitions)
+	}
+}
+
+func TestSRLatchRandomAdversariesResolveConsistently(t *testing.T) {
+	eta := ReferenceEta
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		off := -0.8 + 1.6*rng.Float64()
+		mk := func() adversary.Strategy { return adversary.Uniform{Rng: rng} }
+		r, err := SRLatchRelease(eta, off, mk, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Clear offsets must resolve to the side released first: reset
+		// released earlier (off < 0) lets the set side win (q = 1).
+		q := r.Q.Final()
+		if math.Abs(off) > 0.5 {
+			want := signal.Low
+			if off < 0 {
+				want = signal.High
+			}
+			if q != want {
+				t.Errorf("offset %g: q=%v want %v", off, q, want)
+			}
+		}
+	}
+}
+
+func TestMetastabilityTailMatchesLemma7(t *testing.T) {
+	res, err := MetastabilityTail(12, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples < 10 {
+		t.Fatalf("samples %d", res.Samples)
+	}
+	// The fitted exponential tail rate matches ln(f′(Δ̄))/P within 25 % —
+	// the metastability MTBF law derived from the model's constants.
+	ratio := res.Rate / res.PredictedRate
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("tail rate %g vs predicted %g (ratio %g)", res.Rate, res.PredictedRate, ratio)
+	}
+	// Lemma 7 gives a lower bound on the escape speed, hence on the rate.
+	if res.Rate < res.LowerBoundRate {
+		t.Fatalf("tail rate %g below the Lemma 7 lower bound %g", res.Rate, res.LowerBoundRate)
+	}
+}

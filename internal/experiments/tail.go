@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"involution/internal/adversary"
+	"involution/internal/signal"
+	"involution/internal/spf"
+)
+
+// Metastability tail statistics: Lemma 7's geometric escape implies that a
+// resolution gap g maps to a settling time ≈ log_a(1/g)·P' for a constant
+// per-pulse period, i.e. for an input pulse drawn uniformly from a window
+// around Δ̃₀ the settling time τ_s satisfies
+//
+//	P(τ_s > t) ∝ a^(−t/P_pulse)   ⇔   exponential tail with rate ln(a)/P_pulse,
+//
+// the classic metastability MTBF law (Marino 1981), here derived from and
+// checked against the η-involution model.
+
+// TailResult summarizes the measured settling-time distribution.
+type TailResult struct {
+	// Rate is the fitted exponential tail rate of P(settle > t).
+	Rate float64
+	// PredictedRate is ln(a_eff)/P, where a_eff = f′(Δ̄) is the actual
+	// per-pulse gap multiplier of the worst-case recurrence at its fixed
+	// point (Lemma 7's a = 1+δ′↑(0) is only a lower bound on it) and P the
+	// period of the near-critical train.
+	PredictedRate float64
+	// LowerBoundRate is ln(a)/P from the Lemma 7 bound; the measured rate
+	// must not fall below it.
+	LowerBoundRate float64
+	// Samples is the number of resolved runs in the tail fit.
+	Samples int
+}
+
+// MetastabilityTail measures the settling-time distribution of the SPF
+// storage loop for input pulses uniformly spaced in a window around Δ̃₀
+// under the worst-case adversary, and fits the exponential tail rate via
+// least squares on log-survival.
+func MetastabilityTail(points int, horizon float64) (TailResult, error) {
+	loop, err := referenceChannel()
+	if err != nil {
+		return TailResult{}, err
+	}
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		return TailResult{}, err
+	}
+	a := sys.Analysis
+	worst := func() adversary.Strategy { return adversary.MinUpTime{} }
+
+	// Sample gaps log-uniformly above Δ̃₀ (resolving to 1) — equivalent to
+	// observing the tail of a uniform distribution at ever finer scales.
+	var settles []float64
+	var periods []float64
+	for i := 0; i < points; i++ {
+		gap := math.Pow(10, -1-7*float64(i)/float64(points-1)) // 1e-1 … 1e-8
+		obs, err := sys.Observe(a.Delta0Tilde+gap, worst, horizon)
+		if err != nil {
+			return TailResult{}, err
+		}
+		if obs.Resolved != signal.High || !obs.Stabilized {
+			return TailResult{}, fmt.Errorf("tail: gap %g did not resolve within the horizon", gap)
+		}
+		settles = append(settles, obs.StabilizationTime)
+		if obs.Pulses >= 2 {
+			periods = append(periods, obs.StabilizationTime/float64(obs.Pulses))
+		}
+	}
+	if len(settles) < 4 || len(periods) == 0 {
+		return TailResult{}, fmt.Errorf("tail: too few resolved runs")
+	}
+
+	// For log-uniform gaps g_i = 10^{-x_i}, settle_i ≈ const + x_i·ln10/rate
+	// with rate = ln(a)/P_pulse. Equivalently: survival probability of a
+	// uniform gap beyond settle t is ∝ e^{−rate·t}. Fit ln(g) vs settle.
+	var sx, sy, sxx, sxy float64
+	n := float64(len(settles))
+	for i, t := range settles {
+		g := math.Pow(10, -1-7*float64(i)/float64(points-1))
+		x := t
+		y := math.Log(g)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx) // d ln g / d settle = −rate
+	rate := -slope
+
+	sort.Float64s(periods)
+	medPeriod := periods[len(periods)/2]
+	// Actual per-pulse multiplier: derivative of the worst-case recurrence
+	// at its fixed point.
+	h := 1e-7
+	aEff := (loop.WorstCaseNext(a.DeltaBar+h) - loop.WorstCaseNext(a.DeltaBar-h)) / (2 * h)
+	return TailResult{
+		Rate:           rate,
+		PredictedRate:  math.Log(aEff) / medPeriod,
+		LowerBoundRate: math.Log(a.LipschitzA) / medPeriod,
+		Samples:        len(settles),
+	}, nil
+}

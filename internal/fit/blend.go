@@ -1,0 +1,98 @@
+package fit
+
+import (
+	"errors"
+	"math"
+
+	"involution/internal/delay"
+)
+
+// BlendFitResult is the outcome of fitting a blended (two-component)
+// exp-channel involution — a richer but still faithful delay family.
+type BlendFitResult struct {
+	Base  delay.ExpParams // first component
+	Tau2  float64         // second component's RC constant
+	Vth2  float64         // second component's threshold
+	W     float64         // blend weight of the first component
+	RMSE  float64
+	Evals int
+}
+
+// Pair builds the fitted blended involution pair.
+func (r BlendFitResult) Pair() (delay.Pair, error) {
+	return delay.BlendedExp(r.Base, r.Tau2, r.Vth2, r.W)
+}
+
+// FitBlend fits a blended exp-channel (δ↑ a convex combination of two
+// exp-channel branches, δ↓ the numerically derived involution partner) to
+// measured samples. The extra degrees of freedom let it track multi-pole
+// responses that a single exp-channel cannot, while the result remains a
+// valid involution pair — so the improved accuracy costs no faithfulness.
+// FitBlend seeds from a prior single-exp fit and refines with Nelder–Mead;
+// the returned RMSE is never worse than the seed's.
+func FitBlend(up, down []delay.Sample) (BlendFitResult, error) {
+	if len(up)+len(down) < 6 {
+		return BlendFitResult{}, errors.New("fit: need at least 6 samples")
+	}
+	seed, err := FitExp(up, down)
+	if err != nil {
+		return BlendFitResult{}, err
+	}
+
+	// Parameter vector: tau1, tp, vth1, tau2, vth2, w.
+	obj := func(x []float64) float64 {
+		base := delay.ExpParams{Tau: x[0], TP: x[1], Vth: x[2]}
+		if base.Validate() != nil || !(x[3] > 0) || !(x[4] > 0 && x[4] < 1) || !(x[5] > 0 && x[5] < 1) {
+			return math.Inf(1)
+		}
+		pair, err := delay.BlendedExp(base, x[3], x[4], x[5])
+		if err != nil {
+			return math.Inf(1)
+		}
+		sse, n := 0.0, 0
+		for _, s := range up {
+			sse, n = accum(sse, n, pair.Up, s)
+		}
+		for _, s := range down {
+			sse, n = accum(sse, n, pair.Down, s)
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return sse / float64(n)
+	}
+
+	best := BlendFitResult{
+		Base: seed.Params, Tau2: seed.Params.Tau, Vth2: seed.Params.Vth, W: 0.99,
+		RMSE: math.Inf(1),
+	}
+	evals := 0
+	for _, tau2Scale := range []float64{4, 10, 25} {
+		for _, w := range []float64{0.6, 0.85} {
+			tau2 := seed.Params.Tau * tau2Scale
+			// Feasibility of the second component requires
+			// τ₂·ln(1/Vth₂) < δ↓∞ of the first; seed Vth₂ well inside.
+			vth2 := math.Exp(-0.5 * seed.Params.DownLimit() / tau2)
+			x0 := []float64{seed.Params.Tau, seed.Params.TP, seed.Params.Vth, tau2, vth2, w}
+			x, v, e := nelderMead(obj, x0, 800)
+			evals += e
+			if v < best.RMSE {
+				best = BlendFitResult{
+					Base: delay.ExpParams{Tau: x[0], TP: x[1], Vth: x[2]},
+					Tau2: x[3], Vth2: x[4], W: x[5],
+					RMSE: v,
+				}
+			}
+		}
+	}
+	if math.IsInf(best.RMSE, 1) {
+		return BlendFitResult{}, errors.New("fit: blend optimization found no feasible parameters")
+	}
+	best.RMSE = math.Sqrt(best.RMSE)
+	best.Evals = evals
+	// Never worse than the single-exp seed (which is the w → 1 limit).
+	if best.RMSE > seed.RMSE {
+		best = BlendFitResult{Base: seed.Params, Tau2: seed.Params.Tau * 4, Vth2: seed.Params.Vth, W: 0.999, RMSE: seed.RMSE, Evals: evals}
+	}
+	return best, nil
+}

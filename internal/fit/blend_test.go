@@ -1,0 +1,70 @@
+package fit
+
+import (
+	"testing"
+
+	"involution/internal/delay"
+)
+
+func TestFitBlendNeedsSamples(t *testing.T) {
+	if _, err := FitBlend(nil, nil); err == nil {
+		t.Fatal("want error for empty samples")
+	}
+}
+
+func TestFitBlendRecoversSingleExp(t *testing.T) {
+	// On data from a pure exp-channel, the blend fit must match (its seed
+	// already achieves ~zero RMSE).
+	truth := delay.ExpParams{Tau: 1.2, TP: 0.4, Vth: 0.55}
+	pair := delay.MustExp(truth)
+	Ts := delay.Linspace(-0.6, 6, 25)
+	res, err := FitBlend(delay.SampleFunc(pair.Up, Ts), delay.SampleFunc(pair.Down, Ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 1e-4 {
+		t.Fatalf("RMSE %g on exact exp data", res.RMSE)
+	}
+}
+
+func TestFitBlendBeatsSingleExpOnTwoPoleData(t *testing.T) {
+	// Ground truth: a genuinely two-pole involution (blend of a fast and a
+	// slow exp component). The single exp-channel cannot represent it; the
+	// blend fit must cut the residual by a large factor while remaining a
+	// valid involution pair.
+	truth, err := delay.BlendedExp(delay.ExpParams{Tau: 0.8, TP: 0.4, Vth: 0.5}, 8, 0.92, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Ts := delay.Linspace(-0.3, 20, 40)
+	up := delay.SampleFunc(truth.Up, Ts)
+	down := delay.SampleFunc(truth.Down, Ts)
+	single, err := FitExp(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blend, err := FitBlend(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.RMSE < 1e-3 {
+		t.Fatalf("single exp fits a two-pole involution suspiciously well (RMSE %g)", single.RMSE)
+	}
+	if !(blend.RMSE < 0.5*single.RMSE) {
+		t.Fatalf("blend RMSE %g not clearly better than single %g", blend.RMSE, single.RMSE)
+	}
+	// The fitted blend is still a strictly causal involution pair.
+	pair, err := blend.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.CheckInvolution(delay.Linspace(-0.3, 2, 15), 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if !pair.StrictlyCausal() {
+		t.Fatal("fitted blend must be strictly causal")
+	}
+	if _, err := pair.DeltaMin(); err != nil {
+		t.Fatal(err)
+	}
+}

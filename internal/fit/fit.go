@@ -1,0 +1,251 @@
+// Package fit calibrates involution delay models against measured delay
+// samples — the methodology of Section V: fit exp-channel parameters to
+// (T, δ) data, compute the deviation series D(T) between model prediction
+// and measurement, derive the feasible η band from constraint (C), and
+// report how much of the deviation the band covers.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"involution/internal/core"
+	"involution/internal/delay"
+)
+
+// DevPoint is one deviation sample: the difference D between the measured
+// input-to-output delay and the model prediction at offset T.
+type DevPoint struct {
+	T float64
+	D float64
+}
+
+// Deviations evaluates the deviation series of measured samples against a
+// model branch. Samples at or below the branch domain are skipped.
+func Deviations(samples []delay.Sample, f delay.Func) []DevPoint {
+	out := make([]DevPoint, 0, len(samples))
+	for _, s := range samples {
+		if s.T <= f.DomainMin() {
+			continue
+		}
+		out = append(out, DevPoint{T: s.T, D: s.Delta - f.Eval(s.T)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Band is a perturbation band [−Minus, +Plus].
+type Band struct {
+	Plus  float64
+	Minus float64
+}
+
+// Contains reports whether a deviation lies within the band.
+func (b Band) Contains(d float64) bool { return d <= b.Plus && d >= -b.Minus }
+
+// FeasibleBand returns the maximal η band allowed by constraint (C) for the
+// given pair and choice of η⁺: η⁻ = δ↓(−η⁺) − δmin − η⁺ (Section V's
+// dimensioning rule). It fails if η⁺ alone violates (C).
+func FeasibleBand(pair delay.Pair, etaPlus float64) (Band, error) {
+	minus, err := core.MaxEtaMinus(pair, etaPlus)
+	if err != nil {
+		return Band{}, err
+	}
+	if minus <= 0 {
+		return Band{}, fmt.Errorf("fit: η⁺ = %g leaves no feasible η⁻ (max %g)", etaPlus, minus)
+	}
+	return Band{Plus: etaPlus, Minus: minus}, nil
+}
+
+// Coverage returns the fraction of deviation points inside the band,
+// considering only points with T ≤ maxT (use +Inf for all).
+func Coverage(devs []DevPoint, b Band, maxT float64) float64 {
+	n, in := 0, 0
+	for _, p := range devs {
+		if p.T > maxT {
+			continue
+		}
+		n++
+		if b.Contains(p.D) {
+			in++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(in) / float64(n)
+}
+
+// MaxAbsDeviation returns the largest |D| with T ≤ maxT, and the T where it
+// occurs.
+func MaxAbsDeviation(devs []DevPoint, maxT float64) (maxD, atT float64) {
+	for _, p := range devs {
+		if p.T > maxT {
+			continue
+		}
+		if math.Abs(p.D) > maxD {
+			maxD, atT = math.Abs(p.D), p.T
+		}
+	}
+	return maxD, atT
+}
+
+// FitResult is the outcome of an exp-channel fit.
+type FitResult struct {
+	Params delay.ExpParams
+	RMSE   float64
+	Evals  int
+}
+
+// FitExp fits exp-channel parameters (τ, Tp, Vth) to measured samples of
+// both branches by Nelder–Mead over a penalized least-squares objective,
+// multi-started from a coarse grid around the heuristic initial guess.
+func FitExp(up, down []delay.Sample) (FitResult, error) {
+	if len(up)+len(down) < 4 {
+		return FitResult{}, errors.New("fit: need at least 4 samples")
+	}
+	obj := func(x []float64) float64 {
+		p := delay.ExpParams{Tau: x[0], TP: x[1], Vth: x[2]}
+		if p.Validate() != nil {
+			return math.Inf(1)
+		}
+		pair, err := delay.Exp(p)
+		if err != nil {
+			return math.Inf(1)
+		}
+		sse, n := 0.0, 0
+		for _, s := range up {
+			sse, n = accum(sse, n, pair.Up, s)
+		}
+		for _, s := range down {
+			sse, n = accum(sse, n, pair.Down, s)
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return sse / float64(n)
+	}
+
+	// Heuristic initial scales from the saturation delays.
+	maxDelta := 0.0
+	for _, s := range append(append([]delay.Sample{}, up...), down...) {
+		if s.Delta > maxDelta {
+			maxDelta = s.Delta
+		}
+	}
+	if maxDelta <= 0 {
+		maxDelta = 1
+	}
+	best := FitResult{RMSE: math.Inf(1)}
+	evals := 0
+	for _, tau := range []float64{maxDelta / 4, maxDelta, 2 * maxDelta} {
+		for _, tp := range []float64{maxDelta / 8, maxDelta / 2} {
+			for _, vth := range []float64{0.3, 0.5, 0.7} {
+				x, v, e := nelderMead(obj, []float64{tau, tp, vth}, 400)
+				evals += e
+				if v < best.RMSE {
+					best = FitResult{Params: delay.ExpParams{Tau: x[0], TP: x[1], Vth: x[2]}, RMSE: v}
+				}
+			}
+		}
+	}
+	if math.IsInf(best.RMSE, 1) {
+		return FitResult{}, errors.New("fit: optimization failed to find feasible parameters")
+	}
+	best.RMSE = math.Sqrt(best.RMSE)
+	best.Evals = evals
+	return best, nil
+}
+
+// accum adds a squared residual; out-of-domain samples incur a fixed
+// penalty so the optimizer prefers parameter sets covering the data.
+func accum(sse float64, n int, f delay.Func, s delay.Sample) (float64, int) {
+	if s.T <= f.DomainMin() {
+		return sse + 100, n + 1
+	}
+	d := f.Eval(s.T) - s.Delta
+	return sse + d*d, n + 1
+}
+
+// nelderMead minimizes obj from x0 with a standard downhill-simplex
+// (reflection/expansion/contraction/shrink), returning the best point, its
+// value and the number of evaluations.
+func nelderMead(obj func([]float64) float64, x0 []float64, maxIter int) ([]float64, float64, int) {
+	n := len(x0)
+	const (
+		alpha = 1.0
+		gamma = 2.0
+		rho   = 0.5
+		sigma = 0.5
+	)
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return obj(x)
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{x: append([]float64{}, x0...), v: eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64{}, x0...)
+		step := 0.25 * x[i]
+		if step == 0 {
+			step = 0.1
+		}
+		x[i] += step
+		simplex[i+1] = vertex{x: x, v: eval(x)}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		best, worst := simplex[0], simplex[n]
+		if worst.v-best.v < 1e-14*(1+math.Abs(best.v)) {
+			break
+		}
+		// Centroid of all but the worst.
+		c := make([]float64, n)
+		for _, vx := range simplex[:n] {
+			for j := range c {
+				c[j] += vx.x[j] / float64(n)
+			}
+		}
+		mix := func(a float64) []float64 {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = c[j] + a*(c[j]-worst.x[j])
+			}
+			return x
+		}
+		xr := mix(alpha)
+		vr := eval(xr)
+		switch {
+		case vr < best.v:
+			xe := mix(gamma)
+			if ve := eval(xe); ve < vr {
+				simplex[n] = vertex{x: xe, v: ve}
+			} else {
+				simplex[n] = vertex{x: xr, v: vr}
+			}
+		case vr < simplex[n-1].v:
+			simplex[n] = vertex{x: xr, v: vr}
+		default:
+			xc := mix(-rho)
+			if vc := eval(xc); vc < worst.v {
+				simplex[n] = vertex{x: xc, v: vc}
+			} else {
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return simplex[0].x, simplex[0].v, evals
+}

@@ -1,0 +1,164 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"involution/internal/analog"
+	"involution/internal/delay"
+)
+
+func TestDeviationsAgainstExactModel(t *testing.T) {
+	pair := delay.MustExp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	samples := delay.SampleFunc(pair.Down, delay.Linspace(-0.5, 5, 20))
+	devs := Deviations(samples, pair.Down)
+	if len(devs) != 20 {
+		t.Fatalf("want 20 deviation points, got %d", len(devs))
+	}
+	for _, p := range devs {
+		if math.Abs(p.D) > 1e-12 {
+			t.Errorf("deviation %g at T=%g against exact model", p.D, p.T)
+		}
+	}
+	// Out-of-domain samples are skipped.
+	bad := []delay.Sample{{T: pair.Down.DomainMin() - 1, Delta: 0}}
+	if got := Deviations(bad, pair.Down); len(got) != 0 {
+		t.Fatalf("out-of-domain sample not skipped: %v", got)
+	}
+	// Deviations are sorted by T.
+	shuffled := []delay.Sample{{T: 3, Delta: 1}, {T: 1, Delta: 0.5}, {T: 2, Delta: 0.8}}
+	devs = Deviations(shuffled, pair.Down)
+	for i := 1; i < len(devs); i++ {
+		if devs[i].T < devs[i-1].T {
+			t.Fatal("deviations not sorted")
+		}
+	}
+}
+
+func TestFeasibleBand(t *testing.T) {
+	pair := delay.MustExp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	b, err := FeasibleBand(pair, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Plus != 0.05 || b.Minus <= 0 {
+		t.Fatalf("band %+v", b)
+	}
+	// The band edge satisfies (C) with equality: η⁻ = δ↓(−η⁺) − δmin − η⁺.
+	dmin, _ := pair.DeltaMin()
+	want := pair.Down.Eval(-0.05) - dmin - 0.05
+	if math.Abs(b.Minus-want) > 1e-9 {
+		t.Fatalf("η⁻ = %g want %g", b.Minus, want)
+	}
+	// Infeasible η⁺.
+	if _, err := FeasibleBand(pair, dmin); err == nil {
+		t.Fatal("want error for η⁺ ≥ δmin")
+	}
+	if !b.Contains(0) || !b.Contains(b.Plus) || !b.Contains(-b.Minus) {
+		t.Error("Contains must include bounds")
+	}
+	if b.Contains(b.Plus+1e-9) || b.Contains(-b.Minus-1e-9) {
+		t.Error("Contains must exclude outside")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	b := Band{Plus: 0.1, Minus: 0.1}
+	devs := []DevPoint{{T: 0, D: 0.05}, {T: 1, D: -0.05}, {T: 2, D: 0.5}, {T: 3, D: -0.5}}
+	if got := Coverage(devs, b, math.Inf(1)); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("coverage %g want 0.5", got)
+	}
+	if got := Coverage(devs, b, 1.5); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("coverage up to T=1.5: %g want 1", got)
+	}
+	if got := Coverage(nil, b, 1); !math.IsNaN(got) {
+		t.Fatalf("empty coverage %g want NaN", got)
+	}
+	maxD, atT := MaxAbsDeviation(devs, math.Inf(1))
+	if maxD != 0.5 || atT != 2 {
+		t.Fatalf("max |D| = %g at %g", maxD, atT)
+	}
+	if maxD, _ := MaxAbsDeviation(devs, 1.5); maxD != 0.05 {
+		t.Fatalf("restricted max |D| = %g", maxD)
+	}
+}
+
+func TestFitExpRecoversExactParameters(t *testing.T) {
+	truth := delay.ExpParams{Tau: 1.3, TP: 0.4, Vth: 0.62}
+	pair := delay.MustExp(truth)
+	Ts := delay.Linspace(-0.8, 6, 30)
+	up := delay.SampleFunc(pair.Up, Ts)
+	down := delay.SampleFunc(pair.Down, Ts)
+	res, err := FitExp(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 1e-5 {
+		t.Fatalf("RMSE %g too large (params %+v)", res.RMSE, res.Params)
+	}
+	if math.Abs(res.Params.Tau-truth.Tau) > 0.01 ||
+		math.Abs(res.Params.TP-truth.TP) > 0.01 ||
+		math.Abs(res.Params.Vth-truth.Vth) > 0.01 {
+		t.Fatalf("recovered %+v want %+v", res.Params, truth)
+	}
+}
+
+func TestFitExpNeedsSamples(t *testing.T) {
+	if _, err := FitExp(nil, nil); err == nil {
+		t.Fatal("want error for empty samples")
+	}
+}
+
+func TestFitExpOnFirstOrderMeasurement(t *testing.T) {
+	// End-to-end: measure a first-order inverter and recover its exp
+	// parameters from the samples.
+	inv := analog.Inverter{Model: analog.FirstOrder, Tau: 1, TP: 0.25}
+	m, err := analog.Measure(inv, analog.MeasureConfig{
+		Widths: delay.Linspace(0.9, 4, 8),
+		Gaps:   delay.Linspace(0.9, 4, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FitExp(m.Up, m.Down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 5e-3 {
+		t.Fatalf("RMSE %g (params %+v)", res.RMSE, res.Params)
+	}
+	if math.Abs(res.Params.Tau-1) > 0.05 || math.Abs(res.Params.TP-0.25) > 0.05 || math.Abs(res.Params.Vth-0.5) > 0.05 {
+		t.Fatalf("recovered %+v", res.Params)
+	}
+	// The deviations of the fit against the measurement are tiny and fully
+	// covered by a feasible η band.
+	fitPair := delay.MustExp(res.Params)
+	devs := Deviations(m.Down, fitPair.Down)
+	band, err := FeasibleBand(fitPair, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := Coverage(devs, band, math.Inf(1)); cov < 1 {
+		t.Fatalf("coverage %g for a first-order (exact) channel", cov)
+	}
+}
+
+func TestFitExpOnSecondOrderShowsModelError(t *testing.T) {
+	// Fig. 9 methodology: fitting an exp-channel to a non-involution
+	// (second-order) response leaves residual deviations.
+	inv := analog.Inverter{Model: analog.SecondOrder, Tau: 1, Tau2: 0.35, TP: 0.25}
+	m, err := analog.Measure(inv, analog.MeasureConfig{
+		Widths: delay.Linspace(1.2, 5, 8),
+		Gaps:   delay.Linspace(1.2, 5, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FitExp(m.Up, m.Down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE < 1e-4 {
+		t.Fatalf("second-order response fitted too well (RMSE %g): model error vanished", res.RMSE)
+	}
+}

@@ -1,0 +1,149 @@
+// Package gate provides the zero-time Boolean functions that label circuit
+// vertices in the model of Függer et al.: a gate computes its output
+// instantaneously from its inputs; all timing behavior lives in the
+// channels connecting gates.
+package gate
+
+import (
+	"fmt"
+
+	"involution/internal/signal"
+)
+
+// Func is a combinational gate function: a named Boolean function of fixed
+// arity.
+type Func struct {
+	Name  string
+	Arity int
+	Eval  func(in []signal.Value) signal.Value
+}
+
+// Valid reports whether the function is well formed.
+func (f Func) Valid() bool { return f.Name != "" && f.Arity >= 0 && f.Eval != nil }
+
+// String returns the gate name.
+func (f Func) String() string { return f.Name }
+
+// Buf returns the 1-input identity gate.
+func Buf() Func {
+	return Func{Name: "BUF", Arity: 1, Eval: func(in []signal.Value) signal.Value { return in[0] }}
+}
+
+// Not returns the inverter.
+func Not() Func {
+	return Func{Name: "NOT", Arity: 1, Eval: func(in []signal.Value) signal.Value { return in[0].Not() }}
+}
+
+// Const returns a 0-input gate with constant output v.
+func Const(v signal.Value) Func {
+	return Func{Name: fmt.Sprintf("CONST%v", v), Arity: 0, Eval: func([]signal.Value) signal.Value { return v }}
+}
+
+// And returns the n-input AND gate (n ≥ 1).
+func And(n int) Func {
+	return Func{Name: fmt.Sprintf("AND%d", n), Arity: n, Eval: func(in []signal.Value) signal.Value {
+		for _, v := range in {
+			if v == signal.Low {
+				return signal.Low
+			}
+		}
+		return signal.High
+	}}
+}
+
+// Or returns the n-input OR gate (n ≥ 1).
+func Or(n int) Func {
+	return Func{Name: fmt.Sprintf("OR%d", n), Arity: n, Eval: func(in []signal.Value) signal.Value {
+		for _, v := range in {
+			if v == signal.High {
+				return signal.High
+			}
+		}
+		return signal.Low
+	}}
+}
+
+// Nand returns the n-input NAND gate.
+func Nand(n int) Func {
+	and := And(n)
+	return Func{Name: fmt.Sprintf("NAND%d", n), Arity: n, Eval: func(in []signal.Value) signal.Value {
+		return and.Eval(in).Not()
+	}}
+}
+
+// Nor returns the n-input NOR gate.
+func Nor(n int) Func {
+	or := Or(n)
+	return Func{Name: fmt.Sprintf("NOR%d", n), Arity: n, Eval: func(in []signal.Value) signal.Value {
+		return or.Eval(in).Not()
+	}}
+}
+
+// Xor returns the n-input parity gate.
+func Xor(n int) Func {
+	return Func{Name: fmt.Sprintf("XOR%d", n), Arity: n, Eval: func(in []signal.Value) signal.Value {
+		var acc signal.Value
+		for _, v := range in {
+			acc ^= v
+		}
+		return acc
+	}}
+}
+
+// Xnor returns the n-input inverted parity gate.
+func Xnor(n int) Func {
+	x := Xor(n)
+	return Func{Name: fmt.Sprintf("XNOR%d", n), Arity: n, Eval: func(in []signal.Value) signal.Value {
+		return x.Eval(in).Not()
+	}}
+}
+
+// Mux returns the 3-input multiplexer: output = in[1] if in[0] == 0 else
+// in[2] (in[0] is the select input).
+func Mux() Func {
+	return Func{Name: "MUX", Arity: 3, Eval: func(in []signal.Value) signal.Value {
+		if in[0] == signal.Low {
+			return in[1]
+		}
+		return in[2]
+	}}
+}
+
+// Maj returns the n-input majority gate (n odd).
+func Maj(n int) Func {
+	return Func{Name: fmt.Sprintf("MAJ%d", n), Arity: n, Eval: func(in []signal.Value) signal.Value {
+		ones := 0
+		for _, v := range in {
+			if v == signal.High {
+				ones++
+			}
+		}
+		if 2*ones > len(in) {
+			return signal.High
+		}
+		return signal.Low
+	}}
+}
+
+// FromTruthTable builds a gate from an explicit truth table: table[i] is
+// the output for the input combination whose bit j (LSB = input 0) is the
+// value of input j. len(table) must be 1<<arity.
+func FromTruthTable(name string, arity int, table []signal.Value) (Func, error) {
+	if arity < 0 || arity > 16 {
+		return Func{}, fmt.Errorf("gate: arity %d out of range", arity)
+	}
+	if len(table) != 1<<arity {
+		return Func{}, fmt.Errorf("gate: truth table for arity %d needs %d entries, got %d", arity, 1<<arity, len(table))
+	}
+	cp := make([]signal.Value, len(table))
+	copy(cp, table)
+	return Func{Name: name, Arity: arity, Eval: func(in []signal.Value) signal.Value {
+		idx := 0
+		for j, v := range in {
+			if v == signal.High {
+				idx |= 1 << j
+			}
+		}
+		return cp[idx]
+	}}, nil
+}

@@ -1,0 +1,129 @@
+package gate
+
+import (
+	"testing"
+
+	"involution/internal/signal"
+)
+
+const (
+	lo = signal.Low
+	hi = signal.High
+)
+
+func TestBufNot(t *testing.T) {
+	if Buf().Eval([]signal.Value{lo}) != lo || Buf().Eval([]signal.Value{hi}) != hi {
+		t.Error("BUF wrong")
+	}
+	if Not().Eval([]signal.Value{lo}) != hi || Not().Eval([]signal.Value{hi}) != lo {
+		t.Error("NOT wrong")
+	}
+}
+
+func TestConst(t *testing.T) {
+	if Const(hi).Eval(nil) != hi || Const(lo).Eval(nil) != lo {
+		t.Error("CONST wrong")
+	}
+	if Const(hi).Arity != 0 {
+		t.Error("CONST arity")
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	and2, or2 := And(2), Or(2)
+	cases := []struct {
+		a, b    signal.Value
+		wantAnd signal.Value
+		wantOr  signal.Value
+	}{
+		{lo, lo, lo, lo},
+		{lo, hi, lo, hi},
+		{hi, lo, lo, hi},
+		{hi, hi, hi, hi},
+	}
+	for _, c := range cases {
+		in := []signal.Value{c.a, c.b}
+		if got := and2.Eval(in); got != c.wantAnd {
+			t.Errorf("AND(%v,%v) = %v", c.a, c.b, got)
+		}
+		if got := or2.Eval(in); got != c.wantOr {
+			t.Errorf("OR(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestNandNorXorXnor(t *testing.T) {
+	for a := lo; a <= hi; a++ {
+		for b := lo; b <= hi; b++ {
+			in := []signal.Value{a, b}
+			if Nand(2).Eval(in) != And(2).Eval(in).Not() {
+				t.Errorf("NAND(%v,%v)", a, b)
+			}
+			if Nor(2).Eval(in) != Or(2).Eval(in).Not() {
+				t.Errorf("NOR(%v,%v)", a, b)
+			}
+			if Xor(2).Eval(in) != a^b {
+				t.Errorf("XOR(%v,%v)", a, b)
+			}
+			if Xnor(2).Eval(in) != (a ^ b).Not() {
+				t.Errorf("XNOR(%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	if Mux().Eval([]signal.Value{lo, hi, lo}) != hi {
+		t.Error("MUX sel=0 must pick in[1]")
+	}
+	if Mux().Eval([]signal.Value{hi, hi, lo}) != lo {
+		t.Error("MUX sel=1 must pick in[2]")
+	}
+}
+
+func TestMaj(t *testing.T) {
+	m := Maj(3)
+	if m.Eval([]signal.Value{hi, hi, lo}) != hi {
+		t.Error("MAJ(1,1,0) = 1")
+	}
+	if m.Eval([]signal.Value{hi, lo, lo}) != lo {
+		t.Error("MAJ(1,0,0) = 0")
+	}
+}
+
+func TestFromTruthTable(t *testing.T) {
+	// Implication a→b: table indexed by bit0=a, bit1=b.
+	impl, err := FromTruthTable("IMPL", 2, []signal.Value{hi, lo, hi, hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, want signal.Value }{
+		{lo, lo, hi}, {hi, lo, lo}, {lo, hi, hi}, {hi, hi, hi},
+	}
+	for _, c := range cases {
+		if got := impl.Eval([]signal.Value{c.a, c.b}); got != c.want {
+			t.Errorf("IMPL(%v,%v) = %v want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := FromTruthTable("X", 2, []signal.Value{lo}); err == nil {
+		t.Error("want error for short table")
+	}
+	if _, err := FromTruthTable("X", -1, nil); err == nil {
+		t.Error("want error for negative arity")
+	}
+	if _, err := FromTruthTable("X", 20, nil); err == nil {
+		t.Error("want error for huge arity")
+	}
+}
+
+func TestValidAndString(t *testing.T) {
+	if !Or(2).Valid() {
+		t.Error("OR2 must be valid")
+	}
+	if (Func{}).Valid() {
+		t.Error("zero Func must be invalid")
+	}
+	if Or(3).String() != "OR3" {
+		t.Errorf("String = %q", Or(3).String())
+	}
+}

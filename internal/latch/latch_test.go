@@ -1,0 +1,207 @@
+package latch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+var (
+	testExp = delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}
+	testEta = adversary.Eta{Plus: 0.04, Minus: 0.03}
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	loop := core.MustNew(delay.MustExp(testExp), testEta)
+	s, err := NewSystem(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func worst() adversary.Strategy { return adversary.MinUpTime{} }
+
+const enWidth = 10.0
+
+func TestNewSystemRejectsBadLoop(t *testing.T) {
+	pair := delay.MustExp(testExp)
+	dmin, _ := pair.DeltaMin()
+	bad := core.MustNew(pair, adversary.Eta{Plus: dmin, Minus: dmin})
+	if _, err := NewSystem(bad); err == nil {
+		t.Fatal("want error for constraint (C) violation")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	s := testSystem(t)
+	c, err := s.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Inputs != 2 || st.Outputs != 1 || st.Gates != 5 || st.Channels != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCaptureOne(t *testing.T) {
+	// Data arrives well before the enable closes: captured 1 under every
+	// adversary.
+	s := testSystem(t)
+	for _, mk := range []func() adversary.Strategy{nil, worst, func() adversary.Strategy { return adversary.MaxUpTime{} }} {
+		obs, err := s.Capture(2, enWidth, mk, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Captured != signal.High {
+			t.Fatalf("early data must be captured: q=%v loop=%v", obs.Q, obs.Loop.Before(30))
+		}
+		if !obs.CleanOutput() {
+			t.Fatalf("output has runts: %v", obs.Q)
+		}
+	}
+}
+
+func TestCaptureZeroWhenDataNeverRises(t *testing.T) {
+	s := testSystem(t)
+	obs, err := s.Capture(-1, enWidth, worst, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Captured != signal.Low || !obs.Q.IsZero() {
+		t.Fatalf("no data must capture 0: %v", obs.Q)
+	}
+}
+
+func TestCaptureZeroWhenDataLate(t *testing.T) {
+	// Data arrives after the latch closed: stays 0.
+	s := testSystem(t)
+	for _, late := range []float64{enWidth + 0.5, enWidth + 5} {
+		obs, err := s.Capture(late, enWidth, worst, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Captured != signal.Low {
+			t.Fatalf("late data (t=%g) must not be captured: loop=%v", late, obs.Loop.Before(30))
+		}
+	}
+}
+
+func TestTransparencyWhileEnabled(t *testing.T) {
+	// While enable is high the storage node follows data up.
+	s := testSystem(t)
+	obs, err := s.Capture(2, enWidth, nil, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Loop.Len() == 0 || !obs.Loop.Transition(0).Rising() {
+		t.Fatalf("storage node must rise during transparency: %v", obs.Loop)
+	}
+	rise := obs.Loop.Transition(0).At
+	if rise < 2 || rise > 5 {
+		t.Fatalf("storage rise at %g, expected shortly after the data edge", rise)
+	}
+}
+
+func TestMetastableWindowExists(t *testing.T) {
+	// Sweeping the data edge toward the closing enable must produce runs
+	// with several storage-loop pulses (the metastable chain) before the
+	// outcome flips from 1 to 0.
+	s := testSystem(t)
+	sawChain := false
+	sawOne := false
+	sawZero := false
+	for _, off := range delay.Linspace(-3.5, 0.5, 61) {
+		obs, err := s.Capture(enWidth+off, enWidth, worst, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !obs.CleanOutput() {
+			t.Fatalf("offset %g: output runt %v", off, obs.Q)
+		}
+		switch obs.Captured {
+		case signal.High:
+			sawOne = true
+		case signal.Low:
+			sawZero = true
+		}
+		if obs.LoopPulses >= 3 {
+			sawChain = true
+		}
+	}
+	if !sawOne || !sawZero {
+		t.Fatalf("sweep must cross the capture boundary: one=%v zero=%v", sawOne, sawZero)
+	}
+	if !sawChain {
+		t.Fatal("no metastable chain observed near the boundary")
+	}
+}
+
+func TestSettleTimeGrowsNearBoundary(t *testing.T) {
+	// Bisect the capture boundary under the worst-case adversary, then
+	// verify the settle time increases as the data edge approaches it —
+	// the unbounded-stabilization behavior faithfulness requires.
+	s := testSystem(t)
+	lo, hi := enWidth-3.5, enWidth+0.5 // lo captures 1, hi captures 0
+	for i := 0; i < 40; i++ {
+		mid := 0.5 * (lo + hi)
+		obs, err := s.Capture(mid, enWidth, worst, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Captured == signal.High {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	boundary := 0.5 * (lo + hi)
+	var prev float64
+	grew := 0
+	for _, gap := range []float64{0.5, 0.05, 0.005, 0.0005} {
+		obs, err := s.Capture(boundary-gap, enWidth, worst, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.SettleTime > prev {
+			grew++
+		}
+		prev = obs.SettleTime
+	}
+	if grew < 2 {
+		t.Fatalf("settle time did not grow toward the boundary (last %g)", prev)
+	}
+}
+
+func TestRandomAdversariesKeepOutputClean(t *testing.T) {
+	s := testSystem(t)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		off := -1.5 + 2*rng.Float64()
+		mk := func() adversary.Strategy { return adversary.Uniform{Rng: rng} }
+		obs, err := s.Capture(enWidth+off, enWidth, mk, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !obs.CleanOutput() {
+			t.Fatalf("offset %g: output runt %v", off, obs.Q)
+		}
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	s := testSystem(t)
+	if _, err := s.Capture(1, -2, nil, 100); err == nil {
+		t.Fatal("negative enable width must fail")
+	}
+	if _, err := s.Capture(1, enWidth, nil, math.NaN()); err == nil {
+		t.Fatal("NaN horizon must fail")
+	}
+}

@@ -1,0 +1,80 @@
+package signal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Combine merges any number of signals through a pointwise Boolean
+// function, producing the zero-time combination signal: its value at every
+// time t is fn of the operand values at t. Simultaneous operand transitions
+// that leave fn unchanged produce no output transition.
+func Combine(fn func([]Value) Value, signals ...Signal) (Signal, error) {
+	if fn == nil {
+		return Signal{}, fmt.Errorf("signal: nil combine function")
+	}
+	vals := make([]Value, len(signals))
+	for i, s := range signals {
+		vals[i] = s.Initial()
+	}
+	initial := fn(vals)
+
+	// Merge all transition times (deduplicated, sorted).
+	var times []float64
+	for _, s := range signals {
+		for i := 0; i < s.Len(); i++ {
+			times = append(times, s.Transition(i).At)
+		}
+	}
+	sort.Float64s(times)
+	cur := initial
+	var trs []Transition
+	for i, t := range times {
+		if i > 0 && t == times[i-1] {
+			continue
+		}
+		for j, s := range signals {
+			vals[j] = s.At(t)
+		}
+		if v := fn(vals); v != cur {
+			trs = append(trs, Transition{At: t, To: v})
+			cur = v
+		}
+	}
+	return New(initial, trs...)
+}
+
+// And returns the pointwise conjunction of the signals.
+func And(signals ...Signal) (Signal, error) {
+	return Combine(func(vs []Value) Value {
+		for _, v := range vs {
+			if v == Low {
+				return Low
+			}
+		}
+		return High
+	}, signals...)
+}
+
+// Or returns the pointwise disjunction of the signals.
+func Or(signals ...Signal) (Signal, error) {
+	return Combine(func(vs []Value) Value {
+		for _, v := range vs {
+			if v == High {
+				return High
+			}
+		}
+		return Low
+	}, signals...)
+}
+
+// Xor returns the pointwise parity of the signals.
+func Xor(signals ...Signal) (Signal, error) {
+	return Combine(func(vs []Value) Value {
+		var acc Value
+		for _, v := range vs {
+			acc ^= v
+		}
+		return acc
+	}, signals...)
+}

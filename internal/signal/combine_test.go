@@ -1,0 +1,141 @@
+package signal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCombineNil(t *testing.T) {
+	if _, err := Combine(nil, Zero()); err == nil {
+		t.Fatal("nil function must fail")
+	}
+}
+
+func TestAndOrXorBasic(t *testing.T) {
+	a := MustPulse(1, 4) // high on [1,5)
+	b := MustPulse(3, 4) // high on [3,7)
+
+	and, err := And(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !and.Equal(MustPulse(3, 2), 1e-12) { // overlap [3,5)
+		t.Fatalf("and = %v", and)
+	}
+
+	or, err := Or(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !or.Equal(MustPulse(1, 6), 1e-12) { // union [1,7)
+		t.Fatalf("or = %v", or)
+	}
+
+	xor, err := Xor(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustNew(Low,
+		Transition{1, High}, Transition{3, Low},
+		Transition{5, High}, Transition{7, Low})
+	if !xor.Equal(want, 1e-12) {
+		t.Fatalf("xor = %v", xor)
+	}
+}
+
+func TestCombineSimultaneousTransitions(t *testing.T) {
+	// a falls exactly when b rises: XOR stays 1 (no glitch recorded),
+	// AND gets a zero-width nothing, OR stays 1.
+	a := MustPulse(1, 2) // [1,3)
+	b := MustPulse(3, 2) // [3,5)
+	xor, err := Xor(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xor.Equal(MustPulse(1, 4), 1e-12) {
+		t.Fatalf("xor = %v", xor)
+	}
+	and, err := And(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !and.IsZero() {
+		t.Fatalf("and = %v", and)
+	}
+}
+
+func TestCombineConstOperands(t *testing.T) {
+	a := MustPulse(1, 2)
+	and, err := And(a, Const(High))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !and.Equal(a, 0) {
+		t.Fatalf("and with 1 = %v", and)
+	}
+	and, err = And(a, Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !and.IsZero() {
+		t.Fatalf("and with 0 = %v", and)
+	}
+	or, err := Or()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !or.IsZero() {
+		t.Fatalf("empty or = %v", or)
+	}
+}
+
+func TestQuickCombinePointwise(t *testing.T) {
+	// Property: the combined signal evaluates pointwise like the function
+	// applied to the operand traces, at transition times and between them.
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSignal(r), randomSignal(r)
+		x, err := Xor(a, b)
+		if err != nil {
+			return false
+		}
+		for _, t := range []float64{0, 0.5, 1.7, 10, 33, 100} {
+			if x.At(t) != a.At(t)^b.At(t) {
+				return false
+			}
+		}
+		for i := 0; i < x.Len(); i++ {
+			tt := x.Transition(i).At
+			if x.At(tt) != a.At(tt)^b.At(tt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// Property: ¬(a ∧ b) = ¬a ∨ ¬b on the signal algebra.
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSignal(r), randomSignal(r)
+		lhs, err := And(a, b)
+		if err != nil {
+			return false
+		}
+		rhs, err := Or(a.Invert(), b.Invert())
+		if err != nil {
+			return false
+		}
+		return lhs.Invert().Equal(rhs, 0)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package signal_test
+
+import (
+	"fmt"
+
+	"involution/internal/signal"
+)
+
+func ExamplePulse() {
+	s := signal.MustPulse(1, 2.5)
+	fmt.Println(s)
+	fmt.Println("value at 2:", s.At(2))
+	fmt.Println("value at 4:", s.At(4))
+	// Output:
+	// 0 r@1 f@3.5
+	// value at 2: 1
+	// value at 4: 0
+}
+
+func ExampleAnalyze() {
+	train, _ := signal.Train(0, 1, 4, 3) // three 1-wide pulses, period 4
+	stats, _ := signal.Analyze(train)
+	fmt.Printf("up-times %v\n", stats.UpTimes)
+	fmt.Printf("periods  %v\n", stats.Periods)
+	fmt.Printf("duty     %v\n", stats.DutyCycles)
+	// Output:
+	// up-times [1 1 1]
+	// periods  [4 4]
+	// duty     [0.25 0.25]
+}
+
+func ExampleParse() {
+	s, _ := signal.Parse("0 r@1 f@2 r@5")
+	fmt.Println(s.Len(), "transitions, final value", s.Final())
+	// Output:
+	// 3 transitions, final value 1
+}
+
+func ExampleOr() {
+	a := signal.MustPulse(1, 3) // high on [1,4)
+	b := signal.MustPulse(3, 3) // high on [3,6)
+	or, _ := signal.Or(a, b)
+	fmt.Println(or)
+	// Output:
+	// 0 r@1 f@6
+}

@@ -1,0 +1,154 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// PulseInterval is a maximal interval during which a signal holds one value.
+// An open-ended interval (the final value of the signal) has End = +Inf and
+// Len() = +Inf.
+type PulseInterval struct {
+	Start float64 // time of the transition that starts the interval
+	End   float64 // time of the transition that ends it, or +Inf
+	Val   Value   // value held during [Start, End)
+}
+
+// Len returns the interval length End − Start.
+func (p PulseInterval) Len() float64 { return p.End - p.Start }
+
+// Closed reports whether the interval ends with a transition.
+func (p PulseInterval) Closed() bool { return !math.IsInf(p.End, 1) }
+
+// Intervals returns the maximal constant intervals of value v that start
+// with a finite-time transition. The leading interval holding the initial
+// value (which starts at −∞) is not included.
+func (s Signal) Intervals(v Value) []PulseInterval {
+	var out []PulseInterval
+	for i, tr := range s.trs {
+		if tr.To != v {
+			continue
+		}
+		end := math.Inf(1)
+		if i+1 < len(s.trs) {
+			end = s.trs[i+1].At
+		}
+		out = append(out, PulseInterval{Start: tr.At, End: end, Val: v})
+	}
+	return out
+}
+
+// Pulses returns the closed 1-intervals of the signal: each is a pulse in
+// the paper's sense (rising transition, falling transition, nothing in
+// between). A trailing open 1-interval is not a pulse and is omitted.
+func (s Signal) Pulses() []PulseInterval {
+	all := s.Intervals(High)
+	out := all[:0]
+	for _, p := range all {
+		if p.Closed() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IsPulse reports whether s is exactly a single pulse (initial value 0, one
+// rising and one falling transition), returning its start and length.
+func (s Signal) IsPulse() (start, width float64, ok bool) {
+	if s.initial != Low || len(s.trs) != 2 {
+		return 0, 0, false
+	}
+	return s.trs[0].At, s.trs[1].At - s.trs[0].At, true
+}
+
+// MinPulseLen returns the length of the shortest closed interval of value v,
+// or +Inf if there is none.
+func (s Signal) MinPulseLen(v Value) float64 {
+	min := math.Inf(1)
+	for _, p := range s.Intervals(v) {
+		if p.Closed() && p.Len() < min {
+			min = p.Len()
+		}
+	}
+	return min
+}
+
+// TrainStats summarizes a pulse train in the terminology of Lemma 5 of the
+// paper: for a signal with pulses Δ₀, Δ₁, …, the up-times Δₙ, the down-times
+// Δ′ₙ (the 0-interval preceding pulse n), the periods Pₙ = Δₙ + Δ′ₙ₊₁
+// (rising transition of pulse n to rising transition of pulse n+1), and the
+// duty cycles γₙ = Δₙ / Pₙ.
+type TrainStats struct {
+	UpTimes    []float64 // Δₙ, one per closed pulse
+	DownTimes  []float64 // Δ′ₙ: 0-time before pulse n (NaN for n = 0 if the signal starts low at −∞)
+	Periods    []float64 // Pₙ: rise(n) → rise(n+1); len = len(UpTimes)−1 (or including open tail if any)
+	DutyCycles []float64 // γₙ = Δₙ / Pₙ; same length as Periods
+}
+
+// MaxUpTime returns the maximum Δₙ for n ≥ from, or 0 if none.
+func (ts TrainStats) MaxUpTime(from int) float64 {
+	max := 0.0
+	for i := from; i < len(ts.UpTimes); i++ {
+		if ts.UpTimes[i] > max {
+			max = ts.UpTimes[i]
+		}
+	}
+	return max
+}
+
+// MaxDutyCycle returns the maximum γₙ for n ≥ from, or 0 if none.
+func (ts TrainStats) MaxDutyCycle(from int) float64 {
+	max := 0.0
+	for i := from; i < len(ts.DutyCycles); i++ {
+		if ts.DutyCycles[i] > max {
+			max = ts.DutyCycles[i]
+		}
+	}
+	return max
+}
+
+// MinPeriod returns the minimum Pₙ for n ≥ from, or +Inf if none.
+func (ts TrainStats) MinPeriod(from int) float64 {
+	min := math.Inf(1)
+	for i := from; i < len(ts.Periods); i++ {
+		if ts.Periods[i] < min {
+			min = ts.Periods[i]
+		}
+	}
+	return min
+}
+
+// Analyze computes the pulse-train statistics of a 0-initial signal.
+// It returns an error if the signal does not start low.
+func Analyze(s Signal) (TrainStats, error) {
+	if s.initial != Low {
+		return TrainStats{}, fmt.Errorf("signal: train analysis requires initial value 0, got %v", s.initial)
+	}
+	var ts TrainStats
+	pulses := s.Pulses()
+	prevFall := math.NaN() // falling transition ending the previous pulse
+	for i, p := range pulses {
+		ts.UpTimes = append(ts.UpTimes, p.Len())
+		if i == 0 {
+			ts.DownTimes = append(ts.DownTimes, math.NaN())
+		} else {
+			ts.DownTimes = append(ts.DownTimes, p.Start-prevFall)
+		}
+		if i+1 < len(pulses) {
+			period := pulses[i+1].Start - p.Start
+			ts.Periods = append(ts.Periods, period)
+			ts.DutyCycles = append(ts.DutyCycles, p.Len()/period)
+		}
+		prevFall = p.End
+	}
+	return ts, nil
+}
+
+// StabilizationTime returns the time of the last transition of s, or 0 for a
+// constant signal: the time after which the signal is stable.
+func (s Signal) StabilizationTime() float64 {
+	if len(s.trs) == 0 {
+		return 0
+	}
+	return s.trs[len(s.trs)-1].At
+}

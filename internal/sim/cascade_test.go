@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"involution/internal/adversary"
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/gate"
+	"involution/internal/signal"
+)
+
+// buildCascade builds i → BUF → BUF → … → o with the given models.
+func buildCascade(t *testing.T, models []channel.Model) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("cascade")
+	if err := c.AddInput("i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddOutput("o"); err != nil {
+		t.Fatal(err)
+	}
+	prev := "i"
+	for k, m := range models {
+		name := fmt.Sprintf("b%d", k)
+		if err := c.AddGate(name, gate.Buf(), signal.Low); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Connect(prev, name, 0, m); err != nil {
+			t.Fatal(err)
+		}
+		prev = name
+	}
+	if err := c.Connect(prev, "o", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestQuickCascadeMatchesOfflineComposition(t *testing.T) {
+	// Property: a pipeline of strictly causal channels through BUF gates
+	// simulates to exactly the composition of the offline channel
+	// functions. This is the execution semantics of Section II made
+	// concrete: gates are zero-time, so the cascade is function
+	// composition.
+	cfg := &quick.Config{MaxCount: 80}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		models := make([]channel.Model, n)
+		for k := range models {
+			if r.Intn(2) == 0 {
+				m, err := channel.NewPure(0.3 + r.Float64())
+				if err != nil {
+					return false
+				}
+				models[k] = m
+			} else {
+				pair, err := delay.Exp(delay.ExpParams{Tau: 0.4 + r.Float64(), TP: 0.2 + 0.4*r.Float64(), Vth: 0.3 + 0.4*r.Float64()})
+				if err != nil {
+					return false
+				}
+				ch, err := core.New(pair, adversary.Eta{})
+				if err != nil {
+					return false
+				}
+				m, err := channel.NewInvolution(ch, nil)
+				if err != nil {
+					return false
+				}
+				models[k] = m
+			}
+		}
+		c := buildCascade(t, models)
+		nTr := r.Intn(10)
+		times := make([]float64, nTr)
+		tt := 0.2 + r.Float64()
+		for i := range times {
+			times[i] = tt
+			tt += 0.1 + 3*r.Float64()
+		}
+		in, err := signal.FromEdges(signal.Low, times...)
+		if err != nil {
+			return false
+		}
+		res, err := Run(c, map[string]signal.Signal{"i": in}, Options{Horizon: 1000})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := in
+		for _, m := range models {
+			want, err = m.Apply(want)
+			if err != nil {
+				return false
+			}
+		}
+		if !res.Signals["o"].Equal(want, 1e-9) {
+			t.Logf("cascade mismatch:\nsim  %v\nwant %v\nin   %v", res.Signals["o"], want, in)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// brokenModel produces invalid actions on demand, to exercise the
+// simulator's defensive error paths.
+type brokenModel struct {
+	mode string
+}
+
+func (b brokenModel) Apply(s signal.Signal) (signal.Signal, error) { return s, nil }
+func (b brokenModel) String() string                               { return "broken(" + b.mode + ")" }
+func (b brokenModel) NewInstance() channel.Instance {
+	return &brokenInstance{mode: b.mode}
+}
+
+type brokenInstance struct {
+	mode string
+	n    int
+}
+
+func (bi *brokenInstance) Input(t float64, v signal.Value) channel.Action {
+	bi.n++
+	switch bi.mode {
+	case "cancel-empty":
+		return channel.Action{Cancel: true}
+	case "cancel-fired":
+		if bi.n == 1 {
+			return channel.Action{Schedule: true, At: t + 0.01, To: v}
+		}
+		// By the next input the first output has long fired.
+		return channel.Action{Cancel: true}
+	case "past-due":
+		return channel.Action{Schedule: true, At: t - 5, To: v}
+	default:
+		return channel.Action{}
+	}
+}
+
+func TestSimulatorRejectsInvalidCancel(t *testing.T) {
+	for _, mode := range []string{"cancel-empty", "cancel-fired"} {
+		c := buildCascade(t, []channel.Model{brokenModel{mode: mode}})
+		in := signal.MustPulse(1, 5)
+		_, err := Run(c, map[string]signal.Signal{"i": in}, Options{Horizon: 100})
+		if err == nil || !strings.Contains(err.Error(), "cancel") {
+			t.Errorf("mode %s: want cancel error, got %v", mode, err)
+		}
+	}
+}
+
+func TestSimulatorClampsPastDueSchedules(t *testing.T) {
+	// Defensive clamp: a rogue instance scheduling into the past gets its
+	// event clamped to just after "now" rather than corrupting the queue.
+	c := buildCascade(t, []channel.Model{brokenModel{mode: "past-due"}})
+	in := signal.MustPulse(1, 5)
+	res, err := Run(c, map[string]signal.Signal{"i": in}, Options{Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Signals["o"]
+	if o.Len() != 2 {
+		t.Fatalf("output %v", o)
+	}
+	if o.Transition(0).At < 1 || o.Transition(1).At < 6 {
+		t.Fatalf("clamped transitions moved before their causes: %v", o)
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"involution/internal/adversary"
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/gate"
+	"involution/internal/signal"
+)
+
+// randomDAG builds a random layered feed-forward circuit: a few input
+// ports, two gate layers with random Boolean functions, random channel
+// models on every edge, and one output port per last-layer gate.
+func randomDAG(t *testing.T, r *rand.Rand) (*circuit.Circuit, []string) {
+	t.Helper()
+	c := circuit.New("fuzz")
+	nIn := 1 + r.Intn(3)
+	var prev []string
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("i%d", i)
+		if err := c.AddInput(name); err != nil {
+			t.Fatal(err)
+		}
+		prev = append(prev, name)
+	}
+	mkModel := func() channel.Model {
+		switch r.Intn(3) {
+		case 0:
+			m, err := channel.NewPure(0.2 + r.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		case 1:
+			d := 0.5 + r.Float64()
+			m, err := channel.NewInertial(d, d*(0.3+0.7*r.Float64()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		default:
+			pair, err := delay.Exp(delay.ExpParams{Tau: 0.3 + r.Float64(), TP: 0.2 + 0.5*r.Float64(), Vth: 0.3 + 0.4*r.Float64()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := core.New(pair, adversary.Eta{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := channel.NewInvolution(ch, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+	}
+	gates := []func(int) gate.Func{gate.And, gate.Or, gate.Nand, gate.Nor, gate.Xor, gate.Xnor}
+	var lastLayer []string
+	for layer := 0; layer < 2; layer++ {
+		n := 1 + r.Intn(3)
+		var names []string
+		for g := 0; g < n; g++ {
+			arity := 1 + r.Intn(len(prev))
+			fn := gates[r.Intn(len(gates))](arity)
+			name := fmt.Sprintf("g%d_%d", layer, g)
+			if err := c.AddGate(name, fn, signal.Value(r.Intn(2))); err != nil {
+				t.Fatal(err)
+			}
+			pick := r.Perm(len(prev))
+			for pin := 0; pin < arity; pin++ {
+				if err := c.Connect(prev[pick[pin%len(pick)]], name, pin, mkModel()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			names = append(names, name)
+		}
+		prev = names
+		lastLayer = names
+	}
+	for i, g := range lastLayer {
+		name := fmt.Sprintf("o%d", i)
+		if err := c.AddOutput(name); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Connect(g, name, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, lastLayer
+}
+
+func randomStimuli(r *rand.Rand, c *circuit.Circuit) map[string]signal.Signal {
+	in := map[string]signal.Signal{}
+	for _, name := range c.Inputs() {
+		n := r.Intn(8)
+		times := make([]float64, n)
+		t := r.Float64()
+		for i := range times {
+			times[i] = t
+			t += 0.1 + 2*r.Float64()
+		}
+		s, _ := signal.FromEdges(signal.Value(r.Intn(2)), times...)
+		in[name] = s
+	}
+	return in
+}
+
+func TestQuickRandomDAGSteadyStateAndDeterminism(t *testing.T) {
+	// Properties over random feed-forward circuits with mixed channels:
+	// 1. the simulation terminates without error,
+	// 2. two runs are bit-identical (determinism),
+	// 3. the final value of every gate equals its Boolean function applied
+	//    to the final values of its drivers (combinational steady state).
+	cfg := &quick.Config{MaxCount: 120}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, _ := randomDAG(t, r)
+		in := randomStimuli(r, c)
+		res1, err := Run(c, in, Options{Horizon: 200})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		res2, err := Run(c, in, Options{Horizon: 200})
+		if err != nil {
+			return false
+		}
+		for name := range res1.Signals {
+			if !res1.Signals[name].Equal(res2.Signals[name], 0) {
+				t.Logf("nondeterminism at %s", name)
+				return false
+			}
+		}
+		// Steady state: every gate's final value is consistent.
+		for _, n := range c.Nodes() {
+			if n.Kind != circuit.KindGate {
+				continue
+			}
+			pins := make([]signal.Value, n.Fn.Arity)
+			for _, e := range c.Edges() {
+				if e.To == n.Name {
+					pins[e.Pin] = res1.Signals[e.From].Final()
+				}
+			}
+			if got := res1.Signals[n.Name].Final(); got != n.Fn.Eval(pins) {
+				t.Logf("gate %s (%s): final %v, eval %v", n.Name, n.Fn.Name, got, n.Fn.Eval(pins))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

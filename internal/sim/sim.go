@@ -1,0 +1,449 @@
+// Package sim is a deterministic event-driven simulator for circuits whose
+// edges are delay channels (package channel) and whose vertices are
+// zero-time gates (package gate) — the execution semantics of the circuit
+// model of Függer et al. It supports feedback loops, per-edge channel
+// state, transition cancellation (as performed by commercial simulators
+// that drop non-FIFO transitions), and records the full signal at every
+// node.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/signal"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Horizon is the time up to which events are processed (inclusive).
+	// Executions of circuits with feedback may be infinite; the horizon
+	// bounds the run.
+	Horizon float64
+	// MaxEvents caps the number of processed events (default 1 << 20);
+	// exceeding it aborts the run with an error.
+	MaxEvents int
+	// MaxDeltas caps zero-delay propagation rounds within one timestamp
+	// (default 10000).
+	MaxDeltas int
+	// Watch holds online monitors: for each named node, the monitor is
+	// invoked on every recorded transition of that node; a non-nil return
+	// aborts the run immediately with a WatchError. Monitors enable
+	// early-abort verification of long executions (e.g. runt detection)
+	// without recording and post-processing full traces.
+	Watch map[string]Monitor
+}
+
+// Monitor observes one node's transitions during simulation.
+type Monitor func(t float64, v signal.Value) error
+
+// WatchError reports a monitor abort.
+type WatchError struct {
+	Node string
+	At   float64
+	Err  error
+}
+
+// Error describes the violated monitor.
+func (e *WatchError) Error() string {
+	return fmt.Sprintf("sim: watch on %q violated at t=%g: %v", e.Node, e.At, e.Err)
+}
+
+// Unwrap returns the monitor's error.
+func (e *WatchError) Unwrap() error { return e.Err }
+
+// MinPulseMonitor returns a Monitor that fails when two consecutive
+// transitions of the node are closer than eps — an online version of
+// condition F4 ("no output pulse shorter than ε").
+func MinPulseMonitor(eps float64) Monitor {
+	last := math.Inf(-1)
+	return func(t float64, _ signal.Value) error {
+		defer func() { last = t }()
+		if t-last < eps {
+			return fmt.Errorf("pulse of length %g < ε = %g", t-last, eps)
+		}
+		return nil
+	}
+}
+
+func (o *Options) setDefaults() error {
+	if !(o.Horizon > 0) || math.IsInf(o.Horizon, 0) || math.IsNaN(o.Horizon) {
+		return fmt.Errorf("sim: horizon %g must be positive and finite", o.Horizon)
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 1 << 20
+	}
+	if o.MaxDeltas == 0 {
+		o.MaxDeltas = 10000
+	}
+	return nil
+}
+
+// Result holds the outcome of a run.
+type Result struct {
+	// Signals maps every node name (ports and gates) to its recorded
+	// signal, truncated at the horizon.
+	Signals map[string]signal.Signal
+	// Events is the number of delivered (non-canceled) events.
+	Events int
+	// Horizon echoes the configured horizon.
+	Horizon float64
+}
+
+// event is a scheduled transition delivery.
+type event struct {
+	at       float64
+	seq      int64
+	to       signal.Value
+	edge     int // index into edges; -1 for input-port stimuli
+	node     string
+	pin      int
+	canceled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) peek() *event  { return q[0] }
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+type nodeState struct {
+	node   *circuit.Node
+	val    signal.Value
+	trs    []signal.Transition
+	pins   []signal.Value
+	fanout []int // indices into the simulation's edge list
+}
+
+type edgeState struct {
+	edge    circuit.Edge
+	inst    channel.Instance
+	pending []*event
+}
+
+// Run simulates the circuit with the given input-port signals up to the
+// horizon and returns the recorded signals of every node.
+func Run(c *circuit.Circuit, inputs map[string]signal.Signal, opts Options) (*Result, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSimulation(c, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+type simulation struct {
+	c     *circuit.Circuit
+	opts  Options
+	nodes map[string]*nodeState
+	edges []*edgeState
+	queue eventQueue
+	seq   int64
+	now   float64
+	count int
+	dirty []*nodeState // nodes recorded during the current delta cycle
+}
+
+func newSimulation(c *circuit.Circuit, inputs map[string]signal.Signal, opts Options) (*simulation, error) {
+	s := &simulation{c: c, opts: opts, nodes: make(map[string]*nodeState)}
+
+	// Per-node state with initial values: input ports take the stimulus
+	// initial value, gates their declared initial output.
+	for _, n := range c.Nodes() {
+		ns := &nodeState{node: n}
+		switch n.Kind {
+		case circuit.KindInput:
+			in, ok := inputs[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("sim: no stimulus for input port %q", n.Name)
+			}
+			ns.val = in.Initial()
+		case circuit.KindGate:
+			ns.val = n.Initial
+			ns.pins = make([]signal.Value, n.Fn.Arity)
+		case circuit.KindOutput:
+			ns.pins = make([]signal.Value, 1)
+		}
+		s.nodes[n.Name] = ns
+	}
+	for name := range inputs {
+		if _, ok := s.nodes[name]; !ok {
+			return nil, fmt.Errorf("sim: stimulus for unknown input port %q", name)
+		}
+		if s.nodes[name].node.Kind != circuit.KindInput {
+			return nil, fmt.Errorf("sim: stimulus target %q is not an input port", name)
+		}
+	}
+	for name := range opts.Watch {
+		if _, ok := s.nodes[name]; !ok {
+			return nil, fmt.Errorf("sim: watch on unknown node %q", name)
+		}
+	}
+
+	// Pin initial values: channels copy the initial value of their source.
+	for _, e := range c.Edges() {
+		s.nodes[e.To].pins[e.Pin] = s.nodes[e.From].val
+	}
+	// Output port initial values follow their driver.
+	for _, n := range c.Nodes() {
+		if n.Kind == circuit.KindOutput {
+			s.nodes[n.Name].val = s.nodes[n.Name].pins[0]
+		}
+	}
+
+	// Edge channel instances and per-node fanout indices.
+	for i, e := range c.Edges() {
+		es := &edgeState{edge: e}
+		if e.Model != nil {
+			es.inst = e.Model.NewInstance()
+		}
+		s.edges = append(s.edges, es)
+		src := s.nodes[e.From]
+		src.fanout = append(src.fanout, i)
+	}
+
+	// Schedule the input stimuli.
+	for _, name := range c.Inputs() {
+		in := inputs[name]
+		for i := 0; i < in.Len(); i++ {
+			tr := in.Transition(i)
+			s.push(&event{at: tr.At, to: tr.To, edge: -1, node: name})
+		}
+	}
+	return s, nil
+}
+
+func (s *simulation) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+func (s *simulation) run() (*Result, error) {
+	// Time-0 evaluation: gate outputs switch from their declared initial
+	// value to the Boolean function of their (initial) inputs.
+	if err := s.deltaCycle(0, nil); err != nil {
+		return nil, err
+	}
+	if err := s.runWatches(0); err != nil {
+		return nil, err
+	}
+
+	for len(s.queue) > 0 {
+		t := s.queue.peek().at
+		if t > s.opts.Horizon {
+			break
+		}
+		// Collect every event at exactly this timestamp.
+		var batch []*event
+		for len(s.queue) > 0 && s.queue.peek().at == t {
+			e := heap.Pop(&s.queue).(*event)
+			if e.canceled {
+				continue
+			}
+			batch = append(batch, e)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		s.now = t
+		s.count += len(batch)
+		if s.count > s.opts.MaxEvents {
+			return nil, fmt.Errorf("sim: event budget %d exhausted at t=%g", s.opts.MaxEvents, t)
+		}
+		if err := s.deltaCycle(t, batch); err != nil {
+			return nil, err
+		}
+		if err := s.runWatches(t); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Signals: make(map[string]signal.Signal, len(s.nodes)), Events: s.count, Horizon: s.opts.Horizon}
+	for name, ns := range s.nodes {
+		var initial signal.Value
+		switch ns.node.Kind {
+		case circuit.KindGate:
+			initial = ns.node.Initial
+		default:
+			if len(ns.trs) > 0 {
+				// Reconstruct the initial value from the first transition.
+				initial = ns.trs[0].To.Not()
+			} else {
+				initial = ns.val
+			}
+		}
+		sig, err := signal.New(initial, ns.trs...)
+		if err != nil {
+			return nil, fmt.Errorf("sim: node %q recorded invalid signal: %w", name, err)
+		}
+		res.Signals[name] = sig
+	}
+	return res, nil
+}
+
+// deltaCycle applies a batch of simultaneous events at time t and iterates
+// zero-delay propagation until the circuit is stable at this timestamp.
+func (s *simulation) deltaCycle(t float64, batch []*event) error {
+	touched := make(map[string]bool) // gates/outputs whose pins changed
+	// changed input-port nodes propagate like gate outputs
+	var changed []string
+
+	for _, e := range batch {
+		if e.edge == -1 {
+			ns := s.nodes[e.node]
+			if ns.val != e.to {
+				ns.val = e.to
+				s.record(ns, t, e.to)
+				changed = append(changed, e.node)
+			}
+			continue
+		}
+		es := s.edges[e.edge]
+		// Retire this event from the edge's pending list.
+		for i, pe := range es.pending {
+			if pe == e {
+				es.pending = append(es.pending[:i], es.pending[i+1:]...)
+				break
+			}
+		}
+		dst := s.nodes[e.node]
+		dst.pins[e.pin] = e.to
+		touched[e.node] = true
+	}
+
+	if batch == nil {
+		// Initial evaluation touches every gate and output port.
+		for _, n := range s.c.Nodes() {
+			if n.Kind != circuit.KindInput {
+				touched[n.Name] = true
+			}
+		}
+	}
+
+	for round := 0; ; round++ {
+		if round > s.opts.MaxDeltas {
+			return fmt.Errorf("sim: zero-delay oscillation at t=%g", t)
+		}
+		// Evaluate touched gates and output ports.
+		for name := range touched {
+			ns := s.nodes[name]
+			var newV signal.Value
+			switch ns.node.Kind {
+			case circuit.KindGate:
+				newV = ns.node.Fn.Eval(ns.pins)
+			case circuit.KindOutput:
+				newV = ns.pins[0]
+			}
+			if newV != ns.val {
+				ns.val = newV
+				s.record(ns, t, newV)
+				changed = append(changed, name)
+			}
+		}
+		touched = make(map[string]bool)
+		if len(changed) == 0 {
+			return nil
+		}
+		// Propagate changes through outgoing edges.
+		next := changed
+		changed = nil
+		for _, name := range next {
+			ns := s.nodes[name]
+			for _, idx := range ns.fanout {
+				es := s.edges[idx]
+				edge := es.edge
+				if es.inst == nil {
+					// Zero-delay edge: deliver within this timestamp.
+					dst := s.nodes[edge.To]
+					dst.pins[edge.Pin] = ns.val
+					touched[edge.To] = true
+					continue
+				}
+				act := es.inst.Input(t, ns.val)
+				if act.Cancel {
+					n := len(es.pending)
+					if n == 0 {
+						return fmt.Errorf("sim: channel %s→%s canceled with no pending output at t=%g", edge.From, edge.To, t)
+					}
+					last := es.pending[n-1]
+					if last.at <= t {
+						return fmt.Errorf("sim: channel %s→%s canceled an already-fired output at t=%g", edge.From, edge.To, t)
+					}
+					last.canceled = true
+					es.pending = es.pending[:n-1]
+				}
+				if act.Schedule {
+					at := act.At
+					if at <= t {
+						// Defensive clamp; instances already clamp.
+						at = math.Nextafter(t, math.Inf(1))
+					}
+					ev := &event{at: at, to: act.To, edge: idx, node: edge.To, pin: edge.Pin}
+					es.pending = append(es.pending, ev)
+					s.push(ev)
+				}
+			}
+		}
+		if len(touched) == 0 {
+			return nil
+		}
+	}
+}
+
+// record appends a transition, annihilating a same-time opposite pair, and
+// marks the node for the post-delta watch pass.
+func (s *simulation) record(ns *nodeState, t float64, v signal.Value) {
+	s.dirty = append(s.dirty, ns)
+	if n := len(ns.trs); n > 0 && ns.trs[n-1].At == t && ns.trs[n-1].To == v.Not() {
+		ns.trs = ns.trs[:n-1]
+		return
+	}
+	ns.trs = append(ns.trs, signal.Transition{At: t, To: v})
+}
+
+// runWatches invokes monitors for nodes whose recorded signal gained a
+// transition at time t during the just-finished delta cycle (annihilated
+// zero-width artifacts are not reported).
+func (s *simulation) runWatches(t float64) error {
+	if len(s.opts.Watch) == 0 {
+		s.dirty = s.dirty[:0]
+		return nil
+	}
+	seen := map[*nodeState]bool{}
+	for _, ns := range s.dirty {
+		if seen[ns] {
+			continue
+		}
+		seen[ns] = true
+		mon, ok := s.opts.Watch[ns.node.Name]
+		if !ok {
+			continue
+		}
+		if n := len(ns.trs); n > 0 && ns.trs[n-1].At == t {
+			if err := mon(t, ns.trs[n-1].To); err != nil {
+				return &WatchError{Node: ns.node.Name, At: t, Err: err}
+			}
+		}
+	}
+	s.dirty = s.dirty[:0]
+	return nil
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"errors"
+
+	"testing"
+
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/gate"
+	"involution/internal/signal"
+)
+
+func TestWatchUnknownNode(t *testing.T) {
+	c := singleChannelCircuit(t, pure(t, 1))
+	_, err := Run(c, map[string]signal.Signal{"i": signal.Zero()},
+		Options{Horizon: 10, Watch: map[string]Monitor{"zz": func(float64, signal.Value) error { return nil }}})
+	if err == nil {
+		t.Fatal("unknown watch node must fail")
+	}
+}
+
+func TestWatchObservesTransitions(t *testing.T) {
+	c := singleChannelCircuit(t, pure(t, 2))
+	var seen []float64
+	mon := func(tt float64, v signal.Value) error {
+		seen = append(seen, tt)
+		return nil
+	}
+	in := signal.MustPulse(1, 3)
+	if _, err := Run(c, map[string]signal.Signal{"i": in},
+		Options{Horizon: 100, Watch: map[string]Monitor{"o": mon}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 3 || seen[1] != 6 {
+		t.Fatalf("monitored transitions %v", seen)
+	}
+}
+
+func TestWatchAbortsRun(t *testing.T) {
+	// A ring oscillator watched by a monitor that rejects everything after
+	// the third transition: the run aborts early with a WatchError.
+	c := circuit.New("ring")
+	_ = c.AddInput("i")
+	_ = c.AddOutput("o")
+	_ = c.AddGate("n", gate.Nor(2), signal.Low)
+	_ = c.Connect("i", "n", 0, nil)
+	_ = c.Connect("n", "n", 1, pure(t, 0.5))
+	_ = c.Connect("n", "o", 0, nil)
+	count := 0
+	boom := errors.New("too many transitions")
+	mon := func(float64, signal.Value) error {
+		count++
+		if count > 3 {
+			return boom
+		}
+		return nil
+	}
+	_, err := Run(c, map[string]signal.Signal{"i": signal.Zero()},
+		Options{Horizon: 1e6, MaxEvents: 1 << 24, Watch: map[string]Monitor{"o": mon}})
+	var we *WatchError
+	if !errors.As(err, &we) {
+		t.Fatalf("want WatchError, got %v", err)
+	}
+	if we.Node != "o" || !errors.Is(err, boom) {
+		t.Fatalf("wrong watch error: %+v", we)
+	}
+	if count != 4 {
+		t.Fatalf("monitor called %d times", count)
+	}
+}
+
+func TestMinPulseMonitor(t *testing.T) {
+	// Drive a fast train through a pure channel and require ≥ 1-wide
+	// pulses at the output: the monitor must fire.
+	c := singleChannelCircuit(t, pure(t, 1))
+	in, err := signal.Train(1, 0.2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(c, map[string]signal.Signal{"i": in},
+		Options{Horizon: 100, Watch: map[string]Monitor{"o": MinPulseMonitor(1.0)}})
+	var we *WatchError
+	if !errors.As(err, &we) {
+		t.Fatalf("want WatchError, got %v", err)
+	}
+	// A wide train passes.
+	in2, err := signal.Train(1, 2, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(c, map[string]signal.Signal{"i": in2},
+		Options{Horizon: 100, Watch: map[string]Monitor{"o": MinPulseMonitor(1.0)}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchSPFOutputOnline(t *testing.T) {
+	// Online F4 on the SPF-like loop output: the high-threshold behavior
+	// keeps the watched output runt-free while the loop oscillates.
+	inert, err := channel.NewInertial(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("loop")
+	_ = c.AddInput("i")
+	_ = c.AddOutput("o")
+	_ = c.AddGate("or", gate.Or(2), signal.Low)
+	_ = c.Connect("i", "or", 0, nil)
+	_ = c.Connect("or", "or", 1, inert)
+	_ = c.Connect("or", "o", 0, nil)
+	if _, err := Run(c, map[string]signal.Signal{"i": signal.MustPulse(0, 3)},
+		Options{Horizon: 50, Watch: map[string]Monitor{"o": MinPulseMonitor(0.5)}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package spf_test
+
+import (
+	"fmt"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/spf"
+)
+
+func ExampleNewSystem() {
+	pair, _ := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	loop, _ := core.New(pair, adversary.Eta{Plus: 0.04, Minus: 0.03})
+	sys, _ := spf.NewSystem(loop)
+	a := sys.Analysis
+	fmt.Printf("cancel ≤ %.4f < metastable < %.4f ≤ lock (Δ̃₀ = %.4f)\n",
+		a.CancelBound, a.LockBound, a.Delta0Tilde)
+
+	worst := func() adversary.Strategy { return adversary.MinUpTime{} }
+	obs, _ := sys.Observe(a.Delta0Tilde+1e-4, worst, 1000)
+	fmt.Printf("Δ₀ = Δ̃₀+1e-4: %d loop pulses, resolves to %v\n", obs.Pulses, obs.Resolved)
+	// Output:
+	// cancel ≤ 0.8463 < metastable < 1.4563 ≤ lock (Δ̃₀ = 1.2599)
+	// Δ₀ = Δ̃₀+1e-4: 7 loop pulses, resolves to 1
+}

@@ -1,0 +1,340 @@
+package spf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+var (
+	testExp = delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}
+	testEta = adversary.Eta{Plus: 0.04, Minus: 0.03}
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	loop := core.MustNew(delay.MustExp(testExp), testEta)
+	s, err := NewSystem(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func worst() adversary.Strategy { return adversary.MinUpTime{} }
+
+func TestNewSystemRejectsConstraintCViolation(t *testing.T) {
+	pair := delay.MustExp(testExp)
+	dmin, _ := pair.DeltaMin()
+	loop := core.MustNew(pair, adversary.Eta{Plus: dmin, Minus: dmin})
+	if _, err := NewSystem(loop); err == nil {
+		t.Fatal("want error for (C) violation")
+	}
+}
+
+func TestDimensionBufferValidation(t *testing.T) {
+	if _, err := DimensionBuffer(0, 0.5); err == nil {
+		t.Error("Θ = 0 must fail")
+	}
+	if _, err := DimensionBuffer(1, 0); err == nil {
+		t.Error("Γ = 0 must fail")
+	}
+	if _, err := DimensionBuffer(1, 1); err == nil {
+		t.Error("Γ = 1 must fail")
+	}
+}
+
+func TestDimensionBufferFiltersTrains(t *testing.T) {
+	// Lemma 11: the dimensioned buffer maps worst-case trains to zero —
+	// including longer and denser-than-dimensioned variations below the
+	// bounds.
+	p, err := DimensionBuffer(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := delay.MustExp(p)
+	ch := core.MustNew(pair, adversary.Eta{})
+	cases := []struct {
+		up, period float64
+		n          int
+	}{
+		{3, 6, 500},      // exactly at the bounds, long
+		{1.5, 6, 200},    // shorter pulses
+		{3, 8, 200},      // lower duty
+		{0.1, 0.25, 500}, // fast glitch train at duty 0.4
+	}
+	for _, c := range cases {
+		train, err := signal.Train(0, c.up, c.period, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ch.Apply(train, adversary.Zero{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.IsZero() {
+			t.Errorf("train up=%g period=%g: buffer output %v", c.up, c.period, out)
+		}
+	}
+	// A permanent rise must pass eventually (Theorem 12 lock case).
+	step := signal.MustNew(signal.Low, signal.Transition{At: 0, To: signal.High})
+	out, err := ch.Apply(step, adversary.Zero{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Final() != signal.High {
+		t.Fatalf("step response %v", out)
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	s := testSystem(t)
+	c, err := s.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Inputs != 1 || st.Outputs != 1 || st.Gates != 2 || st.Channels != 2 || st.ZeroDelay != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTheorem9CancelRegime(t *testing.T) {
+	s := testSystem(t)
+	a := s.Analysis
+	for _, frac := range []float64{0.3, 0.7, 0.999} {
+		d0 := a.CancelBound * frac
+		for _, mk := range []func() adversary.Strategy{nil, worst, func() adversary.Strategy { return adversary.MaxUpTime{} }} {
+			obs, err := s.Observe(d0, mk, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obs.Loop.Len() != 2 || obs.Resolved != signal.Low {
+				t.Errorf("Δ₀=%g: loop must contain only the input pulse, got %v", d0, obs.Loop)
+			}
+			if !obs.Out.IsZero() {
+				t.Errorf("Δ₀=%g: output must be zero, got %v", d0, obs.Out)
+			}
+		}
+	}
+}
+
+func TestTheorem9LockRegime(t *testing.T) {
+	s := testSystem(t)
+	a := s.Analysis
+	for _, frac := range []float64{1.0, 1.3, 3} {
+		d0 := a.LockBound * frac
+		for _, mk := range []func() adversary.Strategy{nil, worst} {
+			obs, err := s.Observe(d0, mk, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obs.Loop.Len() != 1 || obs.Loop.Transition(0).At != 0 || obs.Resolved != signal.High {
+				t.Errorf("Δ₀=%g: loop must lock with single rise at 0, got %v", d0, obs.Loop)
+			}
+			out := obs.Out
+			if out.Len() != 1 || out.Final() != signal.High {
+				t.Errorf("Δ₀=%g: output must be a single rise, got %v", d0, out)
+			}
+		}
+	}
+}
+
+func TestTheorem9MetastableAboveTilde(t *testing.T) {
+	// Δ₀ > Δ̃₀ under the worst-case adversary: resolves to 1, with the
+	// number of generated pulses within the Lemma 7/8 log bound (plus
+	// slack for the additive constant).
+	s := testSystem(t)
+	a := s.Analysis
+	for _, gap := range []float64{1e-2, 1e-4} {
+		d0 := a.Delta0Tilde + gap
+		obs, err := s.Observe(d0, worst, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Resolved != signal.High {
+			t.Fatalf("Δ₀=Δ̃₀+%g must resolve to 1, loop %v…", gap, obs.Loop.Before(50))
+		}
+		bound := a.StabilizationPulses(d0)
+		if float64(obs.Pulses) > bound+5 {
+			t.Errorf("gap %g: %d pulses exceeds bound %g", gap, obs.Pulses, bound)
+		}
+	}
+}
+
+func TestTheorem9MetastableBelowTildeDies(t *testing.T) {
+	// Δ₀ < Δ̃₀ under the worst-case adversary: the pulse train dies out
+	// (resolves to 0), and every regenerated pulse respects the Lemma 5
+	// bounds Δₙ ≤ Δ̄, γₙ ≤ γ̄, Pₙ ≥ P.
+	s := testSystem(t)
+	a := s.Analysis
+	for _, gap := range []float64{1e-2, 1e-4} {
+		d0 := a.Delta0Tilde - gap
+		obs, err := s.Observe(d0, worst, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Resolved != signal.Low {
+			t.Fatalf("Δ₀=Δ̃₀−%g must die out, loop %v…", gap, obs.Loop.Before(50))
+		}
+		if obs.Pulses < 2 {
+			t.Fatalf("expected regenerated pulses, got %d", obs.Pulses)
+		}
+		const tol = 1e-6
+		if obs.MaxUpTail > a.DeltaBar+tol {
+			t.Errorf("gap %g: max tail up-time %g exceeds Δ̄ = %g", gap, obs.MaxUpTail, a.DeltaBar)
+		}
+		if obs.MaxDutyTail > a.Gamma+tol {
+			t.Errorf("gap %g: max tail duty %g exceeds γ̄ = %g", gap, obs.MaxDutyTail, a.Gamma)
+		}
+		if obs.Pulses >= 3 && obs.MinPeriodTail < a.Period-tol {
+			t.Errorf("gap %g: min tail period %g below P = %g", gap, obs.MinPeriodTail, a.Period)
+		}
+		// Lemma 5's down-time bound: Δ′ₙ ≥ P − Δ̄ for n ≥ 1.
+		if obs.Pulses >= 2 && obs.MinDownTail < a.Period-a.DeltaBar-tol {
+			t.Errorf("gap %g: min tail down-time %g below P−Δ̄ = %g", gap, obs.MinDownTail, a.Period-a.DeltaBar)
+		}
+	}
+}
+
+func TestMetastableChainLengthGrowsNearTilde(t *testing.T) {
+	// The closer Δ₀ is to Δ̃₀, the longer the metastable chain — the
+	// unbounded stabilization time that makes bounded SPF impossible.
+	s := testSystem(t)
+	a := s.Analysis
+	var prev int
+	for i, gap := range []float64{1e-1, 1e-3, 1e-5, 1e-7} {
+		obs, err := s.Observe(a.Delta0Tilde+gap, worst, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && obs.Pulses <= prev {
+			t.Fatalf("gap %g: pulses %d not greater than %d", gap, obs.Pulses, prev)
+		}
+		prev = obs.Pulses
+	}
+	if prev < 10 {
+		t.Fatalf("expected a long chain near Δ̃₀, got %d pulses", prev)
+	}
+}
+
+func TestTheorem12OutputShapeMonteCarlo(t *testing.T) {
+	// Theorem 12: for every input pulse and adversary, the circuit output
+	// is the zero signal or a single rising transition — never a pulse.
+	s := testSystem(t)
+	a := s.Analysis
+	rng := rand.New(rand.NewSource(99))
+	mkRandom := func() adversary.Strategy { return adversary.Uniform{Rng: rng} }
+	mkWalk := func() adversary.Strategy { return &adversary.RandomWalk{Rng: rng, Step: 0.01} }
+	span := a.LockBound - a.CancelBound
+	for trial := 0; trial < 40; trial++ {
+		d0 := a.CancelBound + span*rng.Float64()*1.2
+		for _, mk := range []func() adversary.Strategy{mkRandom, mkWalk, worst, nil} {
+			obs, err := s.Observe(d0, mk, 1500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := obs.Out
+			switch out.Len() {
+			case 0: // zero output: fine
+			case 1:
+				if out.Final() != signal.High {
+					t.Fatalf("Δ₀=%g: single falling output transition: %v", d0, out)
+				}
+			default:
+				t.Fatalf("Δ₀=%g: output contains a pulse: %v", d0, out)
+			}
+		}
+	}
+}
+
+func TestLoopMatchesWorstCaseRecurrence(t *testing.T) {
+	// The simulated loop pulses under the MinUpTime adversary must follow
+	// the closed-form recurrence (2) exactly: Δ₁ = g(Δ₀), Δₙ = f(Δₙ₋₁).
+	s := testSystem(t)
+	a := s.Analysis
+	d0 := a.Delta0Tilde - 1e-3
+	obs, err := s.Observe(d0, worst, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulses := obs.Loop.Pulses()
+	if len(pulses) < 4 {
+		t.Fatalf("want several pulses, got %d", len(pulses))
+	}
+	want := s.Loop.WorstCaseFirst(d0)
+	if got := pulses[1].Len(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Δ₁ = %g, closed form %g", got, want)
+	}
+	for n := 2; n < len(pulses); n++ {
+		want = s.Loop.WorstCaseNext(want)
+		if want <= 0 {
+			break
+		}
+		if got := pulses[n].Len(); math.Abs(got-want) > 1e-8 {
+			t.Fatalf("Δ%d = %g, closed form %g", n, got, want)
+		}
+	}
+}
+
+func TestCheckConditions(t *testing.T) {
+	s := testSystem(t)
+	a := s.Analysis
+	widths := []float64{
+		a.CancelBound * 0.5,
+		a.CancelBound,
+		(a.CancelBound + a.LockBound) / 2,
+		a.Delta0Tilde + 1e-3,
+		a.LockBound,
+		a.LockBound * 2,
+	}
+	rng := rand.New(rand.NewSource(3))
+	strategies := []func() adversary.Strategy{
+		nil,
+		worst,
+		func() adversary.Strategy { return adversary.MaxUpTime{} },
+		func() adversary.Strategy { return adversary.Uniform{Rng: rng} },
+	}
+	cc, err := s.Check(widths, strategies, 1500, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.WellFormed {
+		t.Error("F1 failed")
+	}
+	if !cc.NoGeneration {
+		t.Error("F2 failed")
+	}
+	if !cc.Nontrivial {
+		t.Error("F3 failed")
+	}
+	if !cc.NoShortPulse {
+		t.Errorf("F4 failed: smallest output pulse %g", cc.Epsilon)
+	}
+	if !math.IsInf(cc.Epsilon, 1) {
+		t.Errorf("expected no output pulses at all, got ε = %g", cc.Epsilon)
+	}
+}
+
+func TestZeroEtaSystemMatchesOriginalInvolutionModel(t *testing.T) {
+	// With η = 0 the system reduces to the DATE'15 involution model: the
+	// regime boundaries lose their η terms.
+	loop := core.MustNew(delay.MustExp(testExp), adversary.Eta{})
+	s, err := NewSystem(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := delay.MustExp(testExp)
+	dmin, _ := pair.DeltaMin()
+	if math.Abs(s.Analysis.CancelBound-(pair.UpLimit()-dmin)) > 1e-9 {
+		t.Errorf("cancel bound %g want %g", s.Analysis.CancelBound, pair.UpLimit()-dmin)
+	}
+	if math.Abs(s.Analysis.LockBound-pair.UpLimit()) > 1e-9 {
+		t.Errorf("lock bound %g want %g", s.Analysis.LockBound, pair.UpLimit())
+	}
+}

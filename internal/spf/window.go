@@ -1,0 +1,107 @@
+package spf
+
+import (
+	"fmt"
+	"math"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/signal"
+)
+
+// FindSlowInput returns an input pulse length whose storage-loop
+// resolution time exceeds the deadline under the worst-case adversary — a
+// constructive witness that no stabilization-time bound exists, i.e. the
+// impossibility half of faithfulness (bounded-time SPF is unsolvable). It
+// bisects the resolution boundary, tracking the slowest observed run, and
+// fails if float64 resolution around the boundary cannot reach the
+// deadline.
+func (s *System) FindSlowInput(deadline, horizon float64) (float64, Observation, error) {
+	if deadline >= horizon {
+		return 0, Observation{}, fmt.Errorf("spf: deadline %g must be below the horizon %g", deadline, horizon)
+	}
+	worst := func() adversary.Strategy { return adversary.MinUpTime{} }
+	a := s.Analysis
+	lo := a.Delta0Tilde - 0.5*a.DeltaMin // resolves to 0 under worst case
+	hi := a.LockBound                    // resolves to 1
+	var best Observation
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid <= lo || mid >= hi {
+			break // float64 exhausted
+		}
+		obs, err := s.Observe(mid, worst, horizon)
+		if err != nil {
+			return 0, Observation{}, err
+		}
+		if obs.StabilizationTime > best.StabilizationTime {
+			best = obs
+		}
+		if best.StabilizationTime >= deadline {
+			return best.Delta0, best, nil
+		}
+		if obs.Resolved == signal.High {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0, best, fmt.Errorf("spf: could not exceed deadline %g near the boundary (best %g); float64 precision exhausted", deadline, best.StabilizationTime)
+}
+
+// WindowResult describes the range of input pulse lengths over which an
+// adaptive (Balancer) adversary sustains the storage-loop oscillation past
+// the horizon.
+type WindowResult struct {
+	Lo, Hi float64 // sustained Δ₀ range endpoints found by the scan
+	Width  float64
+	// Target is the pinned up-time used by the balancer: the self-
+	// repeating pulse width of the deterministic (η = 0) channel.
+	Target float64
+	// MaxUpObserved is the largest tail up-time over all sustained runs —
+	// Lemma 5 requires it to stay at most Δ̄ of the η-analysis.
+	MaxUpObserved float64
+}
+
+// MetastableWindow measures how far the Balancer adversary widens the set
+// of input pulse lengths that keep the loop oscillating at the horizon.
+// For the deterministic involution model this set is a single point; with
+// η-freedom it becomes an interval (Section IV's "range of values for Δ₀
+// that may lead to a whole range of infinite pulse trains").
+func (s *System) MetastableWindow(points int, horizon float64) (WindowResult, error) {
+	// Deterministic self-repeating width: the Δ̄ of the η = 0 analysis.
+	zeroCh, err := core.New(s.Loop.Pair(), adversary.Eta{})
+	if err != nil {
+		return WindowResult{}, err
+	}
+	zeroA, err := core.Analyze(zeroCh)
+	if err != nil {
+		return WindowResult{}, err
+	}
+	res := WindowResult{Target: zeroA.DeltaBar, Lo: math.Inf(1), Hi: math.Inf(-1)}
+
+	mk := func() adversary.Strategy {
+		return adversary.Balancer{Pair: s.Loop.Pair(), Target: res.Target}
+	}
+	a := s.Analysis
+	span := a.LockBound - a.CancelBound
+	for i := 0; i < points; i++ {
+		d0 := a.CancelBound + span*float64(i)/float64(points-1)
+		obs, err := s.Observe(d0, mk, horizon)
+		if err != nil {
+			return WindowResult{}, err
+		}
+		sustained := !obs.Stabilized && obs.Pulses > 3
+		if sustained {
+			res.Lo = math.Min(res.Lo, d0)
+			res.Hi = math.Max(res.Hi, d0)
+			if obs.MaxUpTail > res.MaxUpObserved {
+				res.MaxUpObserved = obs.MaxUpTail
+			}
+		}
+	}
+	if res.Lo <= res.Hi {
+		res.Width = res.Hi - res.Lo
+	}
+	return res, nil
+}

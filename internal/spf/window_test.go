@@ -1,0 +1,75 @@
+package spf
+
+import (
+	"testing"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+)
+
+func TestFindSlowInput(t *testing.T) {
+	s := testSystem(t)
+	for _, deadline := range []float64{5, 10, 15} {
+		d0, obs, err := s.FindSlowInput(deadline, 2000)
+		if err != nil {
+			t.Fatalf("deadline %g: %v", deadline, err)
+		}
+		if obs.StabilizationTime < deadline {
+			t.Fatalf("witness settle %g below deadline %g", obs.StabilizationTime, deadline)
+		}
+		if d0 <= s.Analysis.CancelBound || d0 >= s.Analysis.LockBound {
+			t.Fatalf("witness Δ₀ = %g outside the metastable window", d0)
+		}
+	}
+}
+
+func TestFindSlowInputValidation(t *testing.T) {
+	s := testSystem(t)
+	if _, _, err := s.FindSlowInput(100, 50); err == nil {
+		t.Fatal("deadline above horizon must fail")
+	}
+	// An absurd deadline is unreachable at float64 resolution.
+	if _, _, err := s.FindSlowInput(1900, 2000); err == nil {
+		t.Fatal("unreachable deadline must fail")
+	}
+}
+
+func TestMetastableWindowIsWidenedByAdversary(t *testing.T) {
+	s := testSystem(t)
+	w, err := s.MetastableWindow(101, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With η-freedom the balancer sustains oscillation over a genuine
+	// interval of input pulse lengths.
+	if !(w.Width > 0.01) {
+		t.Fatalf("window width %g; expected a widened metastable range", w.Width)
+	}
+	// Lemma 5: any infinite pulse train keeps up-times ≤ Δ̄ of the
+	// η-analysis; the balanced trains must comply.
+	if w.MaxUpObserved > s.Analysis.DeltaBar+1e-6 {
+		t.Fatalf("sustained train up-time %g exceeds Δ̄ = %g", w.MaxUpObserved, s.Analysis.DeltaBar)
+	}
+	// The pinned width itself is below the η bound.
+	if w.Target > s.Analysis.DeltaBar {
+		t.Fatalf("target %g above Δ̄ %g", w.Target, s.Analysis.DeltaBar)
+	}
+}
+
+func TestZeroEtaWindowDegenerates(t *testing.T) {
+	// Without η-freedom the balancer has no room: the sustained set over
+	// the same grid is (numerically) empty or a single grid point.
+	loop := core.MustNew(delay.MustExp(testExp), adversary.Eta{})
+	s, err := NewSystem(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.MetastableWindow(101, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Width > 0.01 {
+		t.Fatalf("η = 0 window width %g; deterministic channels sustain only a point", w.Width)
+	}
+}

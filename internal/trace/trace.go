@@ -1,0 +1,278 @@
+// Package trace exports simulation results and measurement data: VCD dumps
+// viewable in standard waveform viewers, CSV series for the figure data,
+// and a small ASCII chart renderer for terminal previews.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+// WriteVCD dumps the signals as a Value Change Dump. Times are divided by
+// resolution and rounded to integer ticks of the given timescale (e.g.
+// "1ps"). Signals are emitted in sorted name order for determinism.
+func WriteVCD(w io.Writer, signals map[string]signal.Signal, timescale string, resolution float64) error {
+	if resolution <= 0 {
+		return fmt.Errorf("trace: resolution %g must be positive", resolution)
+	}
+	names := make([]string, 0, len(signals))
+	for n := range signals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if _, err := fmt.Fprintf(w, "$timescale %s $end\n$scope module top $end\n", timescale); err != nil {
+		return err
+	}
+	ids := make(map[string]string, len(names))
+	for i, n := range names {
+		id := vcdID(i)
+		ids[n] = id
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", id, n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n$dumpvars\n"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%v%s\n", signals[n].Initial(), ids[n]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$end\n"); err != nil {
+		return err
+	}
+
+	// Merge all transitions into a single time-ordered dump.
+	type change struct {
+		tick int64
+		val  signal.Value
+		id   string
+	}
+	var changes []change
+	for _, n := range names {
+		s := signals[n]
+		for i := 0; i < s.Len(); i++ {
+			tr := s.Transition(i)
+			changes = append(changes, change{tick: int64(math.Round(tr.At / resolution)), val: tr.To, id: ids[n]})
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].tick < changes[j].tick })
+	lastTick := int64(-1)
+	for _, c := range changes {
+		if c.tick != lastTick {
+			if _, err := fmt.Fprintf(w, "#%d\n", c.tick); err != nil {
+				return err
+			}
+			lastTick = c.tick
+		}
+		if _, err := fmt.Fprintf(w, "%v%s\n", c.val, c.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vcdID generates short printable VCD identifiers.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(alphabet) {
+		return string(alphabet[i])
+	}
+	return string(alphabet[i%len(alphabet)]) + vcdID(i/len(alphabet)-1)
+}
+
+// Point is a generic 2-D data point for CSV series and charts.
+type Point struct {
+	X, Y float64
+}
+
+// WriteCSV writes a named multi-series CSV: header "x,<name1>,<name2>,…",
+// one row per distinct x (union of all series), empty cells where a series
+// has no point at that x.
+func WriteCSV(w io.Writer, series map[string][]Point) error {
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	xs := map[float64]bool{}
+	val := make(map[string]map[float64]float64, len(names))
+	for _, n := range names {
+		val[n] = make(map[float64]float64)
+		for _, p := range series[n] {
+			xs[p.X] = true
+			val[n][p.X] = p.Y
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	if _, err := fmt.Fprintf(w, "x,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for _, x := range sorted {
+		cells := make([]string, 0, len(names)+1)
+		cells = append(cells, formatG(x))
+		for _, n := range names {
+			if y, ok := val[n][x]; ok {
+				cells = append(cells, formatG(y))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatG(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteSamplesCSV writes delay samples with a "T,delta" header.
+func WriteSamplesCSV(w io.Writer, samples []delay.Sample) error {
+	if _, err := fmt.Fprintln(w, "T,delta"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%s,%s\n", formatG(s.T), formatG(s.Delta)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSamplesCSV parses the format written by WriteSamplesCSV.
+func ReadSamplesCSV(r io.Reader) ([]delay.Sample, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	var out []delay.Sample
+	for i, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || (i == 0 && strings.HasPrefix(line, "T,")) {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 fields, got %d", i+1, len(parts))
+		}
+		T, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", i+1, err)
+		}
+		d, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", i+1, err)
+		}
+		out = append(out, delay.Sample{T: T, Delta: d})
+	}
+	return out, nil
+}
+
+// Chart renders scatter series into a fixed-size ASCII grid with axis
+// labels — enough to eyeball the shape of a figure in a terminal.
+type Chart struct {
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	Title  string
+	XLabel string
+	YLabel string
+}
+
+// Render draws the series; each series is assigned its marker rune in
+// sorted name order from "o", "x", "+", "*", "#".
+func (c Chart) Render(series map[string][]Point) string {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Height <= 0 {
+		c.Height = 20
+	}
+	markers := []rune{'o', 'x', '+', '*', '#'}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, n := range names {
+		for _, p := range series[n] {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return c.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, c.Height)
+	for i := range grid {
+		grid[i] = make([]rune, c.Width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for si, n := range names {
+		m := markers[si%len(markers)]
+		for _, p := range series[n] {
+			col := int((p.X - minX) / (maxX - minX) * float64(c.Width-1))
+			row := c.Height - 1 - int((p.Y-minY)/(maxY-minY)*float64(c.Height-1))
+			grid[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	legend := make([]string, 0, len(names))
+	for si, n := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], n))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "  [%s]\n", strings.Join(legend, "  "))
+	}
+	fmt.Fprintf(&b, "%11.4g ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%11s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%11.4g ┤%s\n", minY, strings.Repeat("─", c.Width))
+	fmt.Fprintf(&b, "%12s%-10.4g%s%10.4g\n", "", minX, strings.Repeat(" ", maxInt(0, c.Width-20)), maxX)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%12sx: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

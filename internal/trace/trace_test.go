@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"involution/internal/delay"
+	"involution/internal/signal"
+)
+
+func TestWriteVCD(t *testing.T) {
+	signals := map[string]signal.Signal{
+		"a": signal.MustPulse(1, 2),
+		"b": signal.MustNew(signal.High, signal.Transition{At: 1.5, To: signal.Low}),
+	}
+	var b strings.Builder
+	if err := WriteVCD(&b, signals, "1ps", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$var wire 1 ! a $end",
+		"$var wire 1 \" b $end",
+		"$dumpvars",
+		"#2\n1!",  // rise of a at 1/0.5 = 2 ticks
+		"#3\n0\"", // fall of b at 1.5/0.5 = 3 ticks
+		"#6\n0!",  // fall of a at 3/0.5 = 6 ticks
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteVCD(&b, signals, "1ps", 0); err == nil {
+		t.Error("zero resolution must fail")
+	}
+}
+
+func TestVcdIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	series := map[string][]Point{
+		"up":   {{X: 1, Y: 2}, {X: 3, Y: 4}},
+		"down": {{X: 1, Y: -2}},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "x,down,up\n1,-2,2\n3,,4\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestSamplesCSVRoundTrip(t *testing.T) {
+	samples := []delay.Sample{{T: -0.5, Delta: 0.25}, {T: 2, Delta: 1.5}}
+	var b strings.Builder
+	if err := WriteSamplesCSV(&b, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSamplesCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("got %d samples", len(got))
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Errorf("sample %d: %+v want %+v", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestReadSamplesCSVErrors(t *testing.T) {
+	for _, text := range []string{"T,delta\n1", "T,delta\nx,1", "T,delta\n1,y"} {
+		if _, err := ReadSamplesCSV(strings.NewReader(text)); err == nil {
+			t.Errorf("ReadSamplesCSV(%q): want error", text)
+		}
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := Chart{Width: 40, Height: 10, Title: "demo", XLabel: "T", YLabel: "D"}
+	out := c.Render(map[string][]Point{
+		"s1": {{X: 0, Y: 0}, {X: 1, Y: 1}},
+		"s2": {{X: 0.5, Y: 0.5}},
+	})
+	for _, want := range []string{"demo", "o=s1", "x=s2", "│", "x: T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Corner markers present.
+	if !strings.Contains(out, "o") {
+		t.Error("no data markers rendered")
+	}
+	// Empty chart.
+	if got := (Chart{Title: "t"}).Render(nil); !strings.Contains(got, "no data") {
+		t.Errorf("empty chart: %q", got)
+	}
+	// Degenerate single point.
+	one := (Chart{}).Render(map[string][]Point{"a": {{X: 2, Y: 3}}})
+	if !strings.Contains(one, "o") {
+		t.Error("single point not rendered")
+	}
+}

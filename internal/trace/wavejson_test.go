@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"involution/internal/signal"
+)
+
+func TestWriteWaveJSON(t *testing.T) {
+	signals := map[string]signal.Signal{
+		"a": signal.MustPulse(1, 2), // high on [1,3)
+		"b": signal.Const(signal.High),
+	}
+	var buf strings.Builder
+	if err := WriteWaveJSON(&buf, signals, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Signal []struct {
+			Name string `json:"name"`
+			Wave string `json:"wave"`
+		} `json:"signal"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Signal) != 2 {
+		t.Fatalf("lanes %d", len(doc.Signal))
+	}
+	// Sorted by name: a first. Ticks at t=0..4: 0,1,1,0,0 → "01.0."
+	if doc.Signal[0].Name != "a" || doc.Signal[0].Wave != "01.0." {
+		t.Fatalf("lane a: %+v", doc.Signal[0])
+	}
+	if doc.Signal[1].Name != "b" || doc.Signal[1].Wave != "1...." {
+		t.Fatalf("lane b: %+v", doc.Signal[1])
+	}
+}
+
+func TestWriteWaveJSONValidation(t *testing.T) {
+	if err := WriteWaveJSON(&strings.Builder{}, nil, 0, 1); err == nil {
+		t.Error("zero tick must fail")
+	}
+	if err := WriteWaveJSON(&strings.Builder{}, nil, 1, 0); err == nil {
+		t.Error("zero horizon must fail")
+	}
+	if err := WriteWaveJSON(&strings.Builder{}, nil, 1e-9, 1e9); err == nil {
+		t.Error("tick budget must be enforced")
+	}
+}

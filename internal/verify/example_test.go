@@ -1,0 +1,28 @@
+package verify_test
+
+import (
+	"fmt"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/signal"
+	"involution/internal/verify"
+)
+
+func ExampleChannel() {
+	pair, _ := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	eta := adversary.Eta{Plus: 0.04, Minus: 0.03}
+	ch, _ := core.New(pair, eta)
+	dmin, _ := pair.DeltaMin()
+
+	// A pulse just above the deterministic cancellation bound: some
+	// adversary rescues it, and the bounded checker finds that sequence.
+	in := signal.MustPulse(0, pair.UpLimit()-dmin-0.02)
+	out, _ := verify.Channel(ch, in, verify.EndpointLevels(eta), 2, verify.IsZero())
+	fmt.Printf("explored %d sequences; cancellation holds for all: %v\n", out.Explored, out.Holds)
+	fmt.Printf("counterexample: %v\n", out.Counterexample)
+	// Output:
+	// explored 2 sequences; cancellation holds for all: false
+	// counterexample: [-0.03 0]
+}

@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/signal"
+	"involution/internal/spf"
+)
+
+// FalsifyOptions configures randomized falsification: where exhaustive
+// endpoint exploration is too deep, random bounded adversary sequences
+// search for a property violation instead. Finding none is evidence, not
+// proof.
+type FalsifyOptions struct {
+	Trials int   // number of random executions (default 200)
+	Depth  int   // choice-sequence length; later choices are uniform too
+	Seed   int64 // RNG seed (default 1)
+}
+
+func (o *FalsifyOptions) setDefaults() {
+	if o.Trials == 0 {
+		o.Trials = 200
+	}
+	if o.Depth == 0 {
+		o.Depth = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// randomSequence draws a mixed sequence: endpoints with probability 1/2
+// (violations usually live at extremes), uniform interior otherwise.
+func randomSequence(rng *rand.Rand, eta adversary.Eta, depth int) []float64 {
+	seq := make([]float64, depth)
+	for i := range seq {
+		switch rng.Intn(4) {
+		case 0:
+			seq[i] = eta.Plus
+		case 1:
+			seq[i] = -eta.Minus
+		default:
+			seq[i] = -eta.Minus + rng.Float64()*eta.Width()
+		}
+	}
+	return seq
+}
+
+// FalsifyChannel searches for an adversary sequence under which the
+// channel's output violates the property.
+func FalsifyChannel(ch *core.Channel, in signal.Signal, opts FalsifyOptions, prop Property) (Outcome, error) {
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := Outcome{Holds: true}
+	for trial := 0; trial < opts.Trials; trial++ {
+		seq := randomSequence(rng, ch.Eta(), opts.Depth)
+		sig, err := ch.Apply(in, adversary.Sequence{Etas: seq})
+		if err != nil {
+			return out, fmt.Errorf("verify: trial %d: %w", trial, err)
+		}
+		out.Explored++
+		if verr := prop(sig); verr != nil {
+			out.Holds = false
+			out.Counterexample = seq
+			out.Output = sig
+			out.Violation = verr
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// FalsifySystem searches for a loop-adversary sequence under which the SPF
+// circuit output violates the property.
+func FalsifySystem(sys *spf.System, delta0 float64, horizon float64, opts FalsifyOptions, prop Property) (Outcome, error) {
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := Outcome{Holds: true}
+	for trial := 0; trial < opts.Trials; trial++ {
+		seq := randomSequence(rng, sys.Loop.Eta(), opts.Depth)
+		mk := func() adversary.Strategy { return adversary.Sequence{Etas: seq} }
+		res, err := sys.RunPulse(delta0, mk, horizon)
+		if err != nil {
+			return out, fmt.Errorf("verify: trial %d: %w", trial, err)
+		}
+		out.Explored++
+		sig := res.Signals[spf.NodeOut]
+		if verr := prop(sig); verr != nil {
+			out.Holds = false
+			out.Counterexample = seq
+			out.Output = sig
+			out.Violation = verr
+			return out, nil
+		}
+	}
+	return out, nil
+}

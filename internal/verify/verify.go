@@ -1,0 +1,187 @@
+// Package verify is a bounded adversarial model checker for η-involution
+// circuits — a first step toward the formal verification tool the paper's
+// conclusions envision. It exhaustively enumerates adversary choice
+// sequences from a finite level set (typically the interval endpoints and
+// 0) up to a bounded depth, runs each resulting deterministic execution,
+// and checks a user property on the output. A failed check returns the
+// offending choice sequence as a counterexample.
+//
+// Exhaustiveness caveat: the adversary's choice set is a continuum; the
+// level discretization makes this a *bounded* check, not a proof. For the
+// monotone worst-case arguments of Section IV the interval endpoints are
+// exactly the extremal choices, so endpoint exploration covers the
+// binding cases.
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/signal"
+	"involution/internal/spf"
+)
+
+// Property is a predicate over an output signal; it returns an error
+// describing the violation, or nil if the signal satisfies the property.
+type Property func(out signal.Signal) error
+
+// NoShortPulse requires that the signal contains no 1-pulse shorter than
+// eps (condition F4 of Definition 2).
+func NoShortPulse(eps float64) Property {
+	return func(out signal.Signal) error {
+		if m := out.MinPulseLen(signal.High); m < eps {
+			return fmt.Errorf("verify: output pulse of length %g < ε = %g", m, eps)
+		}
+		return nil
+	}
+}
+
+// IsZero requires the constant-zero output.
+func IsZero() Property {
+	return func(out signal.Signal) error {
+		if !out.IsZero() {
+			return fmt.Errorf("verify: output not zero: %v", out)
+		}
+		return nil
+	}
+}
+
+// ZeroOrSingleRise requires the Theorem 12 output shape: constant zero or
+// exactly one rising transition.
+func ZeroOrSingleRise() Property {
+	return func(out signal.Signal) error {
+		switch {
+		case out.IsZero():
+			return nil
+		case out.Len() == 1 && out.Final() == signal.High:
+			return nil
+		default:
+			return fmt.Errorf("verify: output neither zero nor a single rise: %v", out)
+		}
+	}
+}
+
+// Outcome reports a bounded exploration.
+type Outcome struct {
+	// Explored is the number of adversary sequences checked.
+	Explored int
+	// Holds is true when every explored execution satisfied the property.
+	Holds bool
+	// Counterexample is the first violating choice sequence (length =
+	// exploration depth), with the violating output and the property error.
+	Counterexample []float64
+	Output         signal.Signal
+	Violation      error
+}
+
+// sequences iterates the cartesian product levels^depth, invoking f with
+// each sequence; f returns false to stop the iteration.
+func sequences(levels []float64, depth int, f func([]float64) bool) {
+	seq := make([]float64, depth)
+	var rec func(int) bool
+	rec = func(i int) bool {
+		if i == depth {
+			return f(seq)
+		}
+		for _, v := range levels {
+			seq[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// EndpointLevels returns the canonical level set {−η⁻, 0, +η⁺} for an η
+// interval (deduplicated when degenerate).
+func EndpointLevels(eta adversary.Eta) []float64 {
+	levels := []float64{-eta.Minus, 0, eta.Plus}
+	out := levels[:0]
+	for _, v := range levels {
+		dup := false
+		for _, w := range out {
+			if w == v {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Channel checks the property on every output of the η-involution channel
+// over adversary sequences of the given depth drawn from levels; choices
+// beyond the depth default to 0.
+func Channel(ch *core.Channel, in signal.Signal, levels []float64, depth int, prop Property) (Outcome, error) {
+	if err := checkParams(levels, depth); err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Holds: true}
+	var runErr error
+	sequences(levels, depth, func(seq []float64) bool {
+		out.Explored++
+		sig, err := ch.Apply(in, adversary.Sequence{Etas: seq})
+		if err != nil {
+			runErr = err
+			return false
+		}
+		if verr := prop(sig); verr != nil {
+			out.Holds = false
+			out.Counterexample = append([]float64{}, seq...)
+			out.Output = sig
+			out.Violation = verr
+			return false
+		}
+		return true
+	})
+	return out, runErr
+}
+
+// System checks the property on the SPF circuit output over loop-channel
+// adversary sequences of the given depth (choices beyond the depth default
+// to 0), simulating each execution up to the horizon.
+func System(sys *spf.System, delta0 float64, levels []float64, depth int, horizon float64, prop Property) (Outcome, error) {
+	if err := checkParams(levels, depth); err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Holds: true}
+	var runErr error
+	sequences(levels, depth, func(seq []float64) bool {
+		out.Explored++
+		mk := func() adversary.Strategy { return adversary.Sequence{Etas: seq} }
+		res, err := sys.RunPulse(delta0, mk, horizon)
+		if err != nil {
+			runErr = err
+			return false
+		}
+		sig := res.Signals[spf.NodeOut]
+		if verr := prop(sig); verr != nil {
+			out.Holds = false
+			out.Counterexample = append([]float64{}, seq...)
+			out.Output = sig
+			out.Violation = verr
+			return false
+		}
+		return true
+	})
+	return out, runErr
+}
+
+func checkParams(levels []float64, depth int) error {
+	if len(levels) == 0 {
+		return fmt.Errorf("verify: empty level set")
+	}
+	if depth < 0 || depth > 24 {
+		return fmt.Errorf("verify: depth %d out of range [0, 24]", depth)
+	}
+	if math.Pow(float64(len(levels)), float64(depth)) > 1e7 {
+		return fmt.Errorf("verify: state space %d^%d too large", len(levels), depth)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/signal"
+	"involution/internal/spf"
+)
+
+var (
+	testExp = delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6}
+	testEta = adversary.Eta{Plus: 0.04, Minus: 0.03}
+)
+
+func testChannel(t *testing.T) *core.Channel {
+	t.Helper()
+	return core.MustNew(delay.MustExp(testExp), testEta)
+}
+
+func TestEndpointLevels(t *testing.T) {
+	got := EndpointLevels(testEta)
+	if len(got) != 3 || got[0] != -0.03 || got[1] != 0 || got[2] != 0.04 {
+		t.Fatalf("levels %v", got)
+	}
+	if got := EndpointLevels(adversary.Eta{}); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("degenerate levels %v", got)
+	}
+	if got := EndpointLevels(adversary.Eta{Plus: 0.1}); len(got) != 2 {
+		t.Fatalf("half-degenerate levels %v", got)
+	}
+}
+
+func TestChannelLemma4Exhaustive(t *testing.T) {
+	// Lemma 4, checked exhaustively over all endpoint choice sequences:
+	// every pulse below the cancel bound is filtered by the bare channel,
+	// no matter the adversary.
+	ch := testChannel(t)
+	dmin, err := ch.Pair().DeltaMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := ch.Pair().UpLimit() - dmin - testEta.Width()
+	in := signal.MustPulse(0, bound*0.98)
+	out, err := Channel(ch, in, EndpointLevels(testEta), 2, IsZero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Holds {
+		t.Fatalf("counterexample %v output %v: %v", out.Counterexample, out.Output, out.Violation)
+	}
+	if out.Explored != 9 {
+		t.Fatalf("explored %d want 9", out.Explored)
+	}
+}
+
+func TestChannelFindsDeCancellation(t *testing.T) {
+	// Just above the deterministic cancel bound, the zero adversary still
+	// cancels but some adversary de-cancels — the checker must find it.
+	ch := testChannel(t)
+	dmin, _ := ch.Pair().DeltaMin()
+	in := signal.MustPulse(0, ch.Pair().UpLimit()-dmin-0.02)
+	if out := ch.MustApply(in, adversary.Zero{}); !out.IsZero() {
+		t.Fatal("precondition: zero adversary must cancel")
+	}
+	res, err := Channel(ch, in, EndpointLevels(testEta), 2, IsZero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("checker missed the de-cancellation")
+	}
+	if len(res.Counterexample) != 2 || res.Violation == nil {
+		t.Fatalf("counterexample %v violation %v", res.Counterexample, res.Violation)
+	}
+	// The counterexample must be a genuinely non-zero adversary choice
+	// whose output indeed survives.
+	if res.Counterexample[0] == 0 && res.Counterexample[1] == 0 {
+		t.Fatalf("zero sequence reported as counterexample")
+	}
+	if res.Output.IsZero() {
+		t.Fatalf("counterexample output is zero: %v", res.Output)
+	}
+}
+
+func TestSystemTheorem12Bounded(t *testing.T) {
+	// Bounded check of Theorem 12 on the full SPF circuit: for pulse
+	// lengths across all three regimes, every explored adversary execution
+	// yields a zero or single-rise output.
+	loop := testChannel(t)
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.Analysis
+	levels := EndpointLevels(testEta)
+	for _, d0 := range []float64{
+		a.CancelBound * 0.5,
+		(a.CancelBound + a.LockBound) / 2,
+		a.Delta0Tilde + 1e-3,
+		a.LockBound * 1.1,
+	} {
+		out, err := System(sys, d0, levels, 4, 800, ZeroOrSingleRise())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Holds {
+			t.Fatalf("Δ₀=%g: counterexample %v output %v", d0, out.Counterexample, out.Output)
+		}
+		if out.Explored != 81 {
+			t.Fatalf("explored %d want 81", out.Explored)
+		}
+	}
+}
+
+func TestSystemNoShortPulseF4(t *testing.T) {
+	loop := testChannel(t)
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := (sys.Analysis.CancelBound + sys.Analysis.LockBound) / 2
+	out, err := System(sys, d0, EndpointLevels(testEta), 3, 800, NoShortPulse(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Holds {
+		t.Fatalf("F4 violated: %v", out.Violation)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	if err := IsZero()(signal.Zero()); err != nil {
+		t.Error(err)
+	}
+	if err := IsZero()(signal.MustPulse(0, 1)); err == nil {
+		t.Error("pulse must violate IsZero")
+	}
+	rise := signal.MustNew(signal.Low, signal.Transition{At: 1, To: signal.High})
+	if err := ZeroOrSingleRise()(rise); err != nil {
+		t.Error(err)
+	}
+	fall := signal.MustNew(signal.High, signal.Transition{At: 1, To: signal.Low})
+	if err := ZeroOrSingleRise()(fall); err == nil {
+		t.Error("single fall must violate ZeroOrSingleRise")
+	}
+	if err := NoShortPulse(2)(signal.MustPulse(0, 1)); err == nil {
+		t.Error("short pulse must violate NoShortPulse")
+	}
+	if err := NoShortPulse(2)(signal.MustPulse(0, 3)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	ch := testChannel(t)
+	in := signal.MustPulse(0, 1)
+	if _, err := Channel(ch, in, nil, 2, IsZero()); err == nil {
+		t.Error("empty level set must fail")
+	}
+	if _, err := Channel(ch, in, []float64{0}, -1, IsZero()); err == nil {
+		t.Error("negative depth must fail")
+	}
+	if _, err := Channel(ch, in, []float64{0}, 30, IsZero()); err == nil {
+		t.Error("huge depth must fail")
+	}
+	if _, err := Channel(ch, in, delay.Linspace(-0.03, 0.04, 100), 10, IsZero()); err == nil {
+		t.Error("state-space blowup must fail")
+	}
+	// Depth 0 explores exactly the zero-adversary execution.
+	out, err := Channel(ch, signal.MustPulse(0, 0.1), []float64{0, 0.01}, 0, IsZero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Explored != 1 || !out.Holds {
+		t.Fatalf("depth-0 outcome %+v", out)
+	}
+	_ = math.Inf // keep math imported via use
+}
