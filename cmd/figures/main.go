@@ -22,9 +22,26 @@ import (
 	"involution/internal/experiments"
 	"involution/internal/fit"
 	"involution/internal/signal"
+	"involution/internal/sim"
 	"involution/internal/spf"
 	"involution/internal/trace"
 )
+
+// budgetHeader/budgetRow print the event/cancellation budget tables of
+// EXPERIMENTS.md from the runs' execution profiles.
+func budgetHeader() {
+	fmt.Printf("%14s %10s %10s %10s %8s %8s %8s\n",
+		"run", "scheduled", "delivered", "canceled", "cancel%", "queueHW", "maxΔrnd")
+}
+
+func budgetRow(name string, st sim.RunStats) {
+	pct := 0.0
+	if st.Scheduled > 0 {
+		pct = 100 * float64(st.Canceled) / float64(st.Scheduled)
+	}
+	fmt.Printf("%14s %10d %10d %10d %7.1f%% %8d %8d\n",
+		name, st.Scheduled, st.Delivered, st.Canceled, pct, st.QueueHighWater, st.MaxDeltaRounds)
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2|4|7|8a|8b|8c|9|thm9|spf|contrast|chain|srlatch|tail|window|ring|all")
@@ -93,6 +110,11 @@ func ring(dir string) error {
 			row.name, row.st.Mean, row.st.Min, row.st.Max, row.st.StdDev, len(row.st.Periods))
 	}
 	fmt.Printf("first-order jitter budget per period: ±%.3f (2·stages·η, before T-coupling)\n", noisy.Envelope)
+	fmt.Println("event budget:")
+	budgetHeader()
+	budgetRow("zero", det.Sim)
+	budgetRow("uniform", noisy.Sim)
+	budgetRow("random-walk", walk.Sim)
 	series := map[string][]trace.Point{}
 	for i, per := range noisy.Periods {
 		series["uniform"] = append(series["uniform"], trace.Point{X: float64(i), Y: per})
@@ -205,6 +227,9 @@ func chain(dir string) error {
 		v.MaxAbsError, p.Dt, p.Stages)
 	fmt.Printf("  1%% supply sine: %d/%d noisy crossings inside the ±η digital envelope\n",
 		v.Transitions-v.EnvelopeViolations, v.Transitions)
+	fmt.Println("event budget (3 digital runs aggregated):")
+	budgetHeader()
+	budgetRow("chain", v.Sim)
 	_ = dir
 	return nil
 }
@@ -290,6 +315,23 @@ func thm9(dir string, points int) error {
 			r.Delta0, r.Predicted, r.Adversary, r.LoopTransitions, r.Final, r.Pulses, r.MaxUpTail, r.MaxDutyTail)
 	}
 	fmt.Println("all rows satisfy the Theorem 9 regime predictions and Lemma 5 bounds ✓")
+	// Per-adversary event budget across the whole Δ₀ sweep.
+	byAdv := map[string]*sim.RunStats{}
+	var advOrder []string
+	for _, r := range rows {
+		st, ok := byAdv[r.Adversary]
+		if !ok {
+			st = &sim.RunStats{}
+			byAdv[r.Adversary] = st
+			advOrder = append(advOrder, r.Adversary)
+		}
+		st.Merge(r.Sim)
+	}
+	fmt.Println("event budget per adversary (whole sweep):")
+	budgetHeader()
+	for _, name := range advOrder {
+		budgetRow(name, *byAdv[name])
+	}
 	series := map[string][]trace.Point{}
 	for _, r := range rows {
 		series["pulses_"+r.Adversary] = append(series["pulses_"+r.Adversary], trace.Point{X: r.Delta0, Y: float64(r.Pulses)})

@@ -7,16 +7,30 @@
 //
 // Each -in flag assigns a stimulus to an input port; the signal syntax is
 // the one produced by signal.String: initial value then r@t / f@t edges.
+//
+// Observability: -stats prints a human-readable run profile, -stats-json
+// writes the machine-readable report (schema in README §Observability),
+// -trace-events streams a JSONL event trace, and -pprof serves
+// net/http/pprof plus /metrics and /debug/vars and keeps the process alive
+// after the run for interactive profiling.
+//
+// Exit codes: 0 on success, 1 on usage or I/O errors, 2 when the
+// simulation aborts mid-run (event budget exhausted or a watch condition
+// failed) — stats are still emitted for aborted runs, with partial counts.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
 
 	"involution/internal/netlist"
+	"involution/internal/obs"
 	"involution/internal/signal"
 	"involution/internal/sim"
 	"involution/internal/trace"
@@ -47,6 +61,10 @@ func main() {
 	dot := flag.String("dot", "", "write the circuit graph as DOT to this file")
 	resolution := flag.Float64("resolution", 1e-3, "VCD time resolution")
 	tick := flag.Float64("tick", 0.5, "WaveJSON tick size")
+	stats := flag.Bool("stats", false, "print run statistics (events, queue, delta cycles, cancels)")
+	statsJSON := flag.String("stats-json", "", `write the machine-readable stats report to this file ("-" = stdout)`)
+	traceEvents := flag.String("trace-events", "", "stream a JSONL event trace to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /debug/vars on this address (e.g. :6060) and stay alive after the run")
 	in := stimuli{}
 	flag.Var(in, "in", "input stimulus, e.g. 'i=0 r@1 f@2.5' (repeatable)")
 	flag.Parse()
@@ -54,6 +72,21 @@ func main() {
 	if *file == "" {
 		fatal(fmt.Errorf("missing -f netlist file"))
 	}
+
+	var reg *obs.Registry
+	if *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		reg.PublishExpvar("netsim")
+		http.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "netsim: pprof server:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("profiling server on http://%s/debug/pprof/ (metrics at /metrics, expvar at /debug/vars)\n", *pprofAddr)
+	}
+
 	f, err := os.Open(*file)
 	if err != nil {
 		fatal(err)
@@ -89,42 +122,123 @@ func main() {
 		}
 	}
 
-	res, err := sim.Run(c, inputs, sim.Options{Horizon: *horizon})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%d events processed up to t=%g\n", res.Events, res.Horizon)
-	names := make([]string, 0, len(res.Signals))
-	for n := range res.Signals {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Printf("  %-12s %v\n", n, res.Signals[n])
+	opts := sim.Options{Horizon: *horizon}
+	var et *trace.EventTrace
+	var traceFile *os.File
+	if *traceEvents != "" {
+		traceFile, err = os.Create(*traceEvents)
+		if err != nil {
+			fatal(err)
+		}
+		et = trace.NewEventTrace(traceFile)
+		opts.Observer = et
 	}
 
-	if *vcd != "" {
+	res, err := sim.Run(c, inputs, opts)
+	exit := 0
+	var runStats sim.RunStats
+	aborted := false
+	abortMsg := ""
+	if err != nil {
+		var ab *sim.AbortError
+		if !errors.As(err, &ab) {
+			fatal(err)
+		}
+		// Aborted mid-run: report the partial profile and exit 2, but
+		// still emit every requested stats artifact below.
+		aborted = true
+		abortMsg = err.Error()
+		runStats = ab.Stats
+		exit = 2
+		fmt.Fprintf(os.Stderr, "netsim: run aborted after %d events: %v\n", ab.Stats.Delivered, err)
+	} else {
+		runStats = res.Stats
+		fmt.Printf("%d events processed up to t=%g\n", res.Events, res.Horizon)
+		names := make([]string, 0, len(res.Signals))
+		for n := range res.Signals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-12s %v\n", n, res.Signals[n])
+		}
+	}
+
+	if et != nil {
+		if err := et.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *traceEvents)
+	}
+
+	if *stats {
+		fmt.Print(trace.FormatStats(runStats))
+	}
+	if *statsJSON != "" {
+		report := trace.StatsReport{
+			Circuit: c.Name,
+			Horizon: *horizon,
+			Events:  runStats.Delivered,
+			Aborted: aborted,
+			Error:   abortMsg,
+			Stats:   runStats,
+		}
+		out := os.Stdout
+		if *statsJSON != "-" {
+			out, err = os.Create(*statsJSON)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if err := trace.WriteStatsJSON(out, report); err != nil {
+			fatal(err)
+		}
+		if out != os.Stdout {
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *statsJSON)
+		}
+	}
+
+	if !aborted && *vcd != "" {
 		f, err := os.Create(*vcd)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := trace.WriteVCD(f, res.Signals, "1ps", *resolution); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *vcd)
 	}
-	if *wavejson != "" {
+	if !aborted && *wavejson != "" {
 		f, err := os.Create(*wavejson)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := trace.WriteWaveJSON(f, res.Signals, *tick, *horizon); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *wavejson)
 	}
+
+	if reg != nil {
+		trace.RegisterRunStats(reg, runStats)
+		fmt.Printf("run finished; profiling server still on %s — interrupt to exit\n", *pprofAddr)
+		select {}
+	}
+	os.Exit(exit)
 }
 
 func fatal(err error) {

@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"involution/internal/adversary"
 	"involution/internal/core"
 	"involution/internal/delay"
+	"involution/internal/obs"
 	"involution/internal/spf"
 	"involution/internal/trace"
 )
@@ -35,7 +38,25 @@ func main() {
 	vcd := flag.String("vcd", "", "write traces as VCD to this file")
 	window := flag.Bool("window", false, "also measure the adaptive-adversary metastable window")
 	slowInput := flag.Float64("slowinput", 0, "find an input whose resolution exceeds this deadline (0 = off)")
+	stats := flag.Bool("stats", false, "print run statistics for the main Δ₀ simulation")
+	statsJSON := flag.String("stats-json", "", `write the machine-readable stats report to this file ("-" = stdout)`)
+	traceEvents := flag.String("trace-events", "", "stream a JSONL event trace of the main Δ₀ simulation to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /debug/vars on this address (e.g. :6060) and stay alive after the run")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		reg.PublishExpvar("spfsim")
+		http.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "spfsim: pprof server:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("profiling server on http://%s/debug/pprof/ (metrics at /metrics, expvar at /debug/vars)\n", *pprofAddr)
+	}
 
 	pair, err := delay.Exp(delay.ExpParams{Tau: *tau, TP: *tp, Vth: *vth})
 	if err != nil {
@@ -83,14 +104,67 @@ func main() {
 	}
 
 	fmt.Printf("\nΔ₀ = %.6f → predicted regime: %s\n", d0, a.Classify(d0))
-	obs, err := sys.Observe(d0, mk, *horizon)
+	var et *trace.EventTrace
+	var traceFile *os.File
+	if *traceEvents != "" {
+		traceFile, err = os.Create(*traceEvents)
+		if err != nil {
+			fatal(err)
+		}
+		et = trace.NewEventTrace(traceFile)
+		sys.Observer = et
+	}
+	ob, err := sys.Observe(d0, mk, *horizon)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("loop (OR out, %d transitions, %d pulses): %v\n", obs.Loop.Len(), obs.Pulses, clip(obs.Loop, 14))
-	fmt.Printf("output (after HT buffer): %v\n", obs.Out)
+	// Detach the trace sink so the auxiliary runs below (-window,
+	// -slowinput, -vcd) don't append to the main run's event stream.
+	sys.Observer = nil
+	if et != nil {
+		if err := et.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *traceEvents)
+	}
+	fmt.Printf("loop (OR out, %d transitions, %d pulses): %v\n", ob.Loop.Len(), ob.Pulses, clip(ob.Loop, 14))
+	fmt.Printf("output (after HT buffer): %v\n", ob.Out)
 	fmt.Printf("final loop value %v; stabilization time %.4f; max tail up-time %.4f (Δ̄=%.4f); max tail duty %.4f (γ̄=%.4f)\n",
-		obs.Resolved, obs.StabilizationTime, obs.MaxUpTail, a.DeltaBar, obs.MaxDutyTail, a.Gamma)
+		ob.Resolved, ob.StabilizationTime, ob.MaxUpTail, a.DeltaBar, ob.MaxDutyTail, a.Gamma)
+
+	if *stats {
+		fmt.Print(trace.FormatStats(ob.Stats))
+	}
+	if *statsJSON != "" {
+		report := trace.StatsReport{
+			Circuit: "spf",
+			Horizon: *horizon,
+			Events:  ob.Stats.Delivered,
+			Stats:   ob.Stats,
+		}
+		out := os.Stdout
+		if *statsJSON != "-" {
+			out, err = os.Create(*statsJSON)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if err := trace.WriteStatsJSON(out, report); err != nil {
+			fatal(err)
+		}
+		if out != os.Stdout {
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *statsJSON)
+		}
+	}
+	if reg != nil {
+		trace.RegisterRunStats(reg, ob.Stats)
+	}
 
 	if *window {
 		w, err := sys.MetastableWindow(101, *horizon)
@@ -122,6 +196,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *vcd)
+	}
+	if reg != nil {
+		fmt.Printf("run finished; profiling server still on %s — interrupt to exit\n", *pprofAddr)
+		select {}
 	}
 }
 

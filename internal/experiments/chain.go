@@ -61,6 +61,9 @@ type ChainValidation struct {
 	// all-early (−η⁻) and all-late (+η⁺) adversaries.
 	EnvelopeViolations int
 	Transitions        int
+	// Sim aggregates the execution profiles of the three digital runs
+	// (deterministic, all-early, all-late) — the experiment's event budget.
+	Sim sim.RunStats
 }
 
 // digitalChain builds the inverter-chain circuit with one exp-channel per
@@ -105,25 +108,25 @@ func digitalChain(p ChainParams, mk func() adversary.Strategy) (*circuit.Circuit
 }
 
 // runDigitalChain simulates the digital chain and returns the per-stage
-// output signals.
-func runDigitalChain(p ChainParams, mk func() adversary.Strategy) ([]signal.Signal, error) {
+// output signals along with the run's execution profile.
+func runDigitalChain(p ChainParams, mk func() adversary.Strategy) ([]signal.Signal, sim.RunStats, error) {
 	c, err := digitalChain(p, mk)
 	if err != nil {
-		return nil, err
+		return nil, sim.RunStats{}, err
 	}
 	in, err := signal.Pulse(p.Start, p.Pulse)
 	if err != nil {
-		return nil, err
+		return nil, sim.RunStats{}, err
 	}
 	res, err := sim.Run(c, map[string]signal.Signal{"i": in}, sim.Options{Horizon: p.Horizon})
 	if err != nil {
-		return nil, err
+		return nil, sim.RunStats{}, err
 	}
 	out := make([]signal.Signal, p.Stages)
 	for k := 0; k < p.Stages; k++ {
 		out[k] = res.Signals[fmt.Sprintf("n%d", k+1)]
 	}
-	return out, nil
+	return out, res.Stats, nil
 }
 
 // runAnalogChain simulates the analog chain (optionally supply-perturbed)
@@ -159,10 +162,11 @@ func ChainCheck(p ChainParams) (ChainValidation, error) {
 	var v ChainValidation
 
 	// Deterministic agreement.
-	dig, err := runDigitalChain(p, nil)
+	dig, st, err := runDigitalChain(p, nil)
 	if err != nil {
 		return v, err
 	}
+	v.Sim.Merge(st)
 	ana, err := runAnalogChain(p, nil)
 	if err != nil {
 		return v, err
@@ -180,18 +184,20 @@ func ChainCheck(p ChainParams) (ChainValidation, error) {
 	}
 
 	// Envelope bracketing of the noisy analog chain.
-	early, err := runDigitalChain(p, func() adversary.Strategy {
+	early, st, err := runDigitalChain(p, func() adversary.Strategy {
 		return adversary.Func(func(e adversary.Eta, _ adversary.Context) float64 { return -e.Minus })
 	})
 	if err != nil {
 		return v, err
 	}
-	late, err := runDigitalChain(p, func() adversary.Strategy {
+	v.Sim.Merge(st)
+	late, st, err := runDigitalChain(p, func() adversary.Strategy {
 		return adversary.Func(func(e adversary.Eta, _ adversary.Context) float64 { return e.Plus })
 	})
 	if err != nil {
 		return v, err
 	}
+	v.Sim.Merge(st)
 	rng := rand.New(rand.NewSource(17))
 	noisy, err := runAnalogChain(p, analog.SineSupply{
 		V0: 1, Amp: p.SineAmp, Period: 2.7, Phase: 2 * math.Pi * rng.Float64(),

@@ -16,6 +16,7 @@ import (
 	"involution/internal/delay"
 	"involution/internal/fit"
 	"involution/internal/signal"
+	"involution/internal/sim"
 	"involution/internal/spf"
 	"involution/internal/trace"
 )
@@ -110,6 +111,8 @@ type Thm9Row struct {
 	// BoundsOK reports the Lemma 5 bounds for runs that died out (for
 	// locking runs the bounds only constrain infinite trains).
 	BoundsOK bool
+	// Sim is the execution profile of this row's simulation run.
+	Sim sim.RunStats
 }
 
 // Thm9Sweep sweeps the input pulse length across the three regimes of
@@ -153,6 +156,7 @@ func Thm9Sweep(points int) ([]Thm9Row, *spf.System, error) {
 				Pulses:          obs.Pulses,
 				MaxUpTail:       obs.MaxUpTail,
 				MaxDutyTail:     obs.MaxDutyTail,
+				Sim:             obs.Stats,
 			}
 			switch out := obs.Out; {
 			case out.IsZero(), out.Len() == 1 && out.Final() == signal.High:

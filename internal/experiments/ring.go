@@ -52,6 +52,8 @@ type RingStats struct {
 	// (late transitions shorten the recovery offset T of the next stage,
 	// which amplifies the perturbation).
 	Envelope float64
+	// Sim is the execution profile of the underlying simulation run.
+	Sim sim.RunStats
 }
 
 // RunRing simulates the free-running ring under the given adversary
@@ -129,7 +131,7 @@ func RunRing(p RingParams, mk func() adversary.Strategy) (RingStats, error) {
 	if len(rises) < 4 {
 		return RingStats{}, fmt.Errorf("experiments: ring produced only %d rising transitions", len(rises))
 	}
-	st := RingStats{Min: math.Inf(1), Max: math.Inf(-1), Envelope: 2 * float64(p.Stages) * p.Eta.Width()}
+	st := RingStats{Min: math.Inf(1), Max: math.Inf(-1), Envelope: 2 * float64(p.Stages) * p.Eta.Width(), Sim: res.Stats}
 	// Drop the start-up transient: the period converges geometrically to
 	// the loop's operating point over the first few laps.
 	first := 6

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, cumulative `le` buckets,
+// `_sum` and `_count` series for histograms. Metrics appear in sorted name
+// order, so output is deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, promFloat(s.Value)); err != nil {
+				return err
+			}
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.Upper, 1) {
+					le = promFloat(b.Upper)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.Name, promFloat(s.Value), s.Name, s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSON writes the snapshot as an indented JSON array of samples —
+// the machine-readable twin of WritePrometheus, stable across calls for a
+// fixed registry state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an http.Handler serving the Prometheus text exposition —
+// mount it at /metrics next to net/http/pprof.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

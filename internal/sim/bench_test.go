@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"involution/internal/channel"
+	"involution/internal/signal"
+)
+
+// BenchmarkDeepPendingRetirement drives a single long-latency channel with
+// a fast pulse train so that hundreds of output events are in flight on one
+// edge at steady state. Retiring a fired event used to splice it out of
+// edgeState.pending with an O(n) tail copy per delivery — quadratic on this
+// workload; the FIFO front-pop makes it O(1). This benchmark is the
+// regression guard for that fix.
+func BenchmarkDeepPendingRetirement(b *testing.B) {
+	pure, err := channel.NewPure(500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := bufCircuit(b, pure)
+	in, err := signal.Train(0, 0.4, 1, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]signal.Signal{"i": in}
+	var events int
+	var hwm int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(c, inputs, Options{Horizon: 3000, MaxEvents: 1 << 22})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+		hwm = res.Stats.QueueHighWater
+	}
+	b.ReportMetric(float64(events), "events")
+	b.ReportMetric(float64(hwm), "queue_hwm")
+}
+
+// BenchmarkCancellationHeavyChain pushes sub-threshold glitches through an
+// inertial channel so nearly every scheduled output is canceled before it
+// fires — the cancellation-churn regime of long adversarial executions.
+func BenchmarkCancellationHeavyChain(b *testing.B) {
+	inert, err := channel.NewInertial(2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := bufCircuit(b, inert)
+	in, err := signal.Train(0, 0.5, 1.2, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]signal.Signal{"i": in}
+	var canceled int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(c, inputs, Options{Horizon: 5000, MaxEvents: 1 << 22})
+		if err != nil {
+			b.Fatal(err)
+		}
+		canceled = res.Stats.Canceled
+	}
+	b.ReportMetric(float64(canceled), "canceled")
+}
+
+// noopObserver measures pure hook-dispatch cost.
+type noopObserver struct{}
+
+func (noopObserver) EventScheduled(Event)         {}
+func (noopObserver) EventDelivered(Event)         {}
+func (noopObserver) EventCanceled(Event)          {}
+func (noopObserver) DeltaCycleDone(float64, int)  {}
+func (noopObserver) Annihilation(string, float64) {}
+
+// BenchmarkObserverOverhead compares the no-observer fast path against a
+// no-op observer on a pipe with heavy event traffic, so the ≤2 % fast-path
+// budget can be verified from BENCH_sim.json.
+func BenchmarkObserverOverhead(b *testing.B) {
+	pure, err := channel.NewPure(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := bufCircuit(b, pure)
+	in, err := signal.Train(0, 0.4, 1, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]signal.Signal{"i": in}
+	for _, bc := range []struct {
+		name string
+		obs  Observer
+	}{{"none", nil}, {"noop", noopObserver{}}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(c, inputs, Options{Horizon: 2000, MaxEvents: 1 << 22, Observer: bc.obs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

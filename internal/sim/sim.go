@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"involution/internal/channel"
 	"involution/internal/circuit"
@@ -35,6 +36,11 @@ type Options struct {
 	// early-abort verification of long executions (e.g. runt detection)
 	// without recording and post-processing full traces.
 	Watch map[string]Monitor
+	// Observer, when non-nil, receives scheduler callbacks for every
+	// scheduled, delivered and canceled event, every finished delta cycle
+	// and every annihilated zero-width pulse. Leave nil for the fast path:
+	// no hook dispatch is performed, only the RunStats counters.
+	Observer Observer
 }
 
 // Monitor observes one node's transitions during simulation.
@@ -91,6 +97,9 @@ type Result struct {
 	Events int
 	// Horizon echoes the configured horizon.
 	Horizon float64
+	// Stats is the execution profile of the run; it is populated on every
+	// run (aborted runs surface theirs through *AbortError).
+	Stats RunStats
 }
 
 // event is a scheduled transition delivery.
@@ -153,6 +162,7 @@ func Run(c *circuit.Circuit, inputs map[string]signal.Signal, opts Options) (*Re
 type simulation struct {
 	c     *circuit.Circuit
 	opts  Options
+	obs   Observer
 	nodes map[string]*nodeState
 	edges []*edgeState
 	queue eventQueue
@@ -160,10 +170,15 @@ type simulation struct {
 	now   float64
 	count int
 	dirty []*nodeState // nodes recorded during the current delta cycle
+
+	stats       RunStats
+	start       time.Time
+	edgeCancels []int64  // per-edge cancellation counts
+	edgeLabels  []string // lazily built "from→to/pin" labels
 }
 
 func newSimulation(c *circuit.Circuit, inputs map[string]signal.Signal, opts Options) (*simulation, error) {
-	s := &simulation{c: c, opts: opts, nodes: make(map[string]*nodeState)}
+	s := &simulation{c: c, opts: opts, obs: opts.Observer, nodes: make(map[string]*nodeState)}
 
 	// Per-node state with initial values: input ports take the stimulus
 	// initial value, gates their declared initial output.
@@ -220,12 +235,17 @@ func newSimulation(c *circuit.Circuit, inputs map[string]signal.Signal, opts Opt
 		src.fanout = append(src.fanout, i)
 	}
 
+	s.edgeCancels = make([]int64, len(s.edges))
+
 	// Schedule the input stimuli.
 	for _, name := range c.Inputs() {
 		in := inputs[name]
 		for i := 0; i < in.Len(); i++ {
 			tr := in.Transition(i)
 			s.push(&event{at: tr.At, to: tr.To, edge: -1, node: name})
+			if s.obs != nil {
+				s.obs.EventScheduled(Event{Now: 0, At: tr.At, To: tr.To, Node: name})
+			}
 		}
 	}
 	return s, nil
@@ -235,16 +255,55 @@ func (s *simulation) push(e *event) {
 	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.queue, e)
+	s.stats.Scheduled++
+	if n := len(s.queue); n > s.stats.QueueHighWater {
+		s.stats.QueueHighWater = n
+	}
+}
+
+// edgeLabel returns the "from→to/pin" channel label for edge i, cached
+// after first use.
+func (s *simulation) edgeLabel(i int) string {
+	if s.edgeLabels == nil {
+		s.edgeLabels = make([]string, len(s.edges))
+	}
+	if s.edgeLabels[i] == "" {
+		e := s.edges[i].edge
+		s.edgeLabels[i] = fmt.Sprintf("%s→%s/%d", e.From, e.To, e.Pin)
+	}
+	return s.edgeLabels[i]
+}
+
+// finalizeStats stamps the wall clock and materializes the per-channel
+// cancellation map (only channels that actually canceled).
+func (s *simulation) finalizeStats() {
+	s.stats.Duration = time.Since(s.start)
+	for i, n := range s.edgeCancels {
+		if n == 0 {
+			continue
+		}
+		if s.stats.CancelsByChannel == nil {
+			s.stats.CancelsByChannel = make(map[string]int64)
+		}
+		s.stats.CancelsByChannel[s.edgeLabel(i)] += n
+	}
+}
+
+// abort wraps a mid-run error with the partial statistics.
+func (s *simulation) abort(err error) error {
+	s.finalizeStats()
+	return &AbortError{Stats: s.stats, Err: err}
 }
 
 func (s *simulation) run() (*Result, error) {
+	s.start = time.Now()
 	// Time-0 evaluation: gate outputs switch from their declared initial
 	// value to the Boolean function of their (initial) inputs.
 	if err := s.deltaCycle(0, nil); err != nil {
-		return nil, err
+		return nil, s.abort(err)
 	}
 	if err := s.runWatches(0); err != nil {
-		return nil, err
+		return nil, s.abort(err)
 	}
 
 	for len(s.queue) > 0 {
@@ -266,18 +325,29 @@ func (s *simulation) run() (*Result, error) {
 		}
 		s.now = t
 		s.count += len(batch)
+		s.stats.Delivered += int64(len(batch))
+		if s.obs != nil {
+			for _, e := range batch {
+				ev := Event{Now: t, At: e.at, To: e.to, Node: e.node}
+				if e.edge >= 0 {
+					ev.Channel = s.edgeLabel(e.edge)
+				}
+				s.obs.EventDelivered(ev)
+			}
+		}
 		if s.count > s.opts.MaxEvents {
-			return nil, fmt.Errorf("sim: event budget %d exhausted at t=%g", s.opts.MaxEvents, t)
+			return nil, s.abort(fmt.Errorf("sim: event budget %d exhausted at t=%g", s.opts.MaxEvents, t))
 		}
 		if err := s.deltaCycle(t, batch); err != nil {
-			return nil, err
+			return nil, s.abort(err)
 		}
 		if err := s.runWatches(t); err != nil {
-			return nil, err
+			return nil, s.abort(err)
 		}
 	}
 
-	res := &Result{Signals: make(map[string]signal.Signal, len(s.nodes)), Events: s.count, Horizon: s.opts.Horizon}
+	s.finalizeStats()
+	res := &Result{Signals: make(map[string]signal.Signal, len(s.nodes)), Events: s.count, Horizon: s.opts.Horizon, Stats: s.stats}
 	for name, ns := range s.nodes {
 		var initial signal.Value
 		switch ns.node.Kind {
@@ -293,7 +363,7 @@ func (s *simulation) run() (*Result, error) {
 		}
 		sig, err := signal.New(initial, ns.trs...)
 		if err != nil {
-			return nil, fmt.Errorf("sim: node %q recorded invalid signal: %w", name, err)
+			return nil, &AbortError{Stats: s.stats, Err: fmt.Errorf("sim: node %q recorded invalid signal: %w", name, err)}
 		}
 		res.Signals[name] = sig
 	}
@@ -301,8 +371,23 @@ func (s *simulation) run() (*Result, error) {
 }
 
 // deltaCycle applies a batch of simultaneous events at time t and iterates
-// zero-delay propagation until the circuit is stable at this timestamp.
+// zero-delay propagation until the circuit is stable at this timestamp,
+// recording the round count in the stats histogram.
 func (s *simulation) deltaCycle(t float64, batch []*event) error {
+	rounds, err := s.deltaRun(t, batch)
+	if err != nil {
+		return err
+	}
+	s.stats.observeDeltaRounds(rounds)
+	if s.obs != nil {
+		s.obs.DeltaCycleDone(t, rounds)
+	}
+	return nil
+}
+
+// deltaRun is the delta-cycle body; it returns the number of evaluation
+// rounds the timestamp needed to stabilize.
+func (s *simulation) deltaRun(t float64, batch []*event) (int, error) {
 	touched := make(map[string]bool) // gates/outputs whose pins changed
 	// changed input-port nodes propagate like gate outputs
 	var changed []string
@@ -318,11 +403,21 @@ func (s *simulation) deltaCycle(t float64, batch []*event) error {
 			continue
 		}
 		es := s.edges[e.edge]
-		// Retire this event from the edge's pending list.
-		for i, pe := range es.pending {
-			if pe == e {
-				es.pending = append(es.pending[:i], es.pending[i+1:]...)
-				break
+		// Retire this event from the edge's pending list: per-channel
+		// output times are strictly increasing and canceled events leave
+		// the list when canceled, so the fired event sits at the front —
+		// an O(1) pop instead of a linear scan.
+		if len(es.pending) > 0 && es.pending[0] == e {
+			es.pending[0] = nil
+			es.pending = es.pending[1:]
+		} else {
+			// Defensive fallback for exotic channel models that interleave
+			// same-time outputs.
+			for i, pe := range es.pending {
+				if pe == e {
+					es.pending = append(es.pending[:i], es.pending[i+1:]...)
+					break
+				}
 			}
 		}
 		dst := s.nodes[e.node]
@@ -341,7 +436,7 @@ func (s *simulation) deltaCycle(t float64, batch []*event) error {
 
 	for round := 0; ; round++ {
 		if round > s.opts.MaxDeltas {
-			return fmt.Errorf("sim: zero-delay oscillation at t=%g", t)
+			return round, fmt.Errorf("sim: zero-delay oscillation at t=%g", t)
 		}
 		// Evaluate touched gates and output ports.
 		for name := range touched {
@@ -361,7 +456,7 @@ func (s *simulation) deltaCycle(t float64, batch []*event) error {
 		}
 		touched = make(map[string]bool)
 		if len(changed) == 0 {
-			return nil
+			return round + 1, nil
 		}
 		// Propagate changes through outgoing edges.
 		next := changed
@@ -382,14 +477,19 @@ func (s *simulation) deltaCycle(t float64, batch []*event) error {
 				if act.Cancel {
 					n := len(es.pending)
 					if n == 0 {
-						return fmt.Errorf("sim: channel %s→%s canceled with no pending output at t=%g", edge.From, edge.To, t)
+						return round + 1, fmt.Errorf("sim: channel %s→%s canceled with no pending output at t=%g", edge.From, edge.To, t)
 					}
 					last := es.pending[n-1]
 					if last.at <= t {
-						return fmt.Errorf("sim: channel %s→%s canceled an already-fired output at t=%g", edge.From, edge.To, t)
+						return round + 1, fmt.Errorf("sim: channel %s→%s canceled an already-fired output at t=%g", edge.From, edge.To, t)
 					}
 					last.canceled = true
 					es.pending = es.pending[:n-1]
+					s.stats.Canceled++
+					s.edgeCancels[idx]++
+					if s.obs != nil {
+						s.obs.EventCanceled(Event{Now: t, At: last.at, To: last.to, Node: edge.To, Channel: s.edgeLabel(idx)})
+					}
 				}
 				if act.Schedule {
 					at := act.At
@@ -400,11 +500,14 @@ func (s *simulation) deltaCycle(t float64, batch []*event) error {
 					ev := &event{at: at, to: act.To, edge: idx, node: edge.To, pin: edge.Pin}
 					es.pending = append(es.pending, ev)
 					s.push(ev)
+					if s.obs != nil {
+						s.obs.EventScheduled(Event{Now: t, At: at, To: act.To, Node: edge.To, Channel: s.edgeLabel(idx)})
+					}
 				}
 			}
 		}
 		if len(touched) == 0 {
-			return nil
+			return round + 1, nil
 		}
 	}
 }
@@ -415,6 +518,10 @@ func (s *simulation) record(ns *nodeState, t float64, v signal.Value) {
 	s.dirty = append(s.dirty, ns)
 	if n := len(ns.trs); n > 0 && ns.trs[n-1].At == t && ns.trs[n-1].To == v.Not() {
 		ns.trs = ns.trs[:n-1]
+		s.stats.Annihilated++
+		if s.obs != nil {
+			s.obs.Annihilation(ns.node.Name, t)
+		}
 		return
 	}
 	ns.trs = append(ns.trs, signal.Transition{At: t, To: v})

@@ -33,6 +33,9 @@ type System struct {
 	// buffer was validated against.
 	Theta      float64
 	GammaBound float64
+	// Observer, when non-nil, is attached to every simulation this system
+	// launches (RunPulse, Observe, Check) — e.g. a trace.EventTrace sink.
+	Observer sim.Observer
 }
 
 // NewSystem analyzes the loop channel (which must satisfy constraint (C))
@@ -173,7 +176,8 @@ func (s *System) RunPulse(delta0 float64, newStrategy func() adversary.Strategy,
 	} else {
 		in = signal.Zero()
 	}
-	return sim.Run(c, map[string]signal.Signal{NodeIn: in}, sim.Options{Horizon: horizon, MaxEvents: 1 << 22})
+	return sim.Run(c, map[string]signal.Signal{NodeIn: in},
+		sim.Options{Horizon: horizon, MaxEvents: 1 << 22, Observer: s.Observer})
 }
 
 // Observation classifies the simulated OR-loop output of one run.
@@ -196,6 +200,8 @@ type Observation struct {
 	Stabilized bool
 	// StabilizationTime is the last loop transition time.
 	StabilizationTime float64
+	// Stats is the execution profile of the underlying simulation.
+	Stats sim.RunStats
 }
 
 // Observe runs the circuit and extracts the Lemma 5 / Theorem 9 metrics.
@@ -226,6 +232,7 @@ func (s *System) Observe(delta0 float64, newStrategy func() adversary.Strategy, 
 		MinPeriodTail:     stats.MinPeriod(1),
 		MinDownTail:       minDown,
 		StabilizationTime: loop.StabilizationTime(),
+		Stats:             res.Stats,
 	}
 	// The run is considered stabilized if the loop has been constant for
 	// longer than the worst-case regeneration period before the horizon.

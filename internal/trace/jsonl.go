@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"involution/internal/sim"
+)
+
+// EventTrace is a streaming JSONL sink for simulator scheduler events: it
+// implements sim.Observer and writes one JSON object per line, so
+// million-event runs can be inspected offline (jq, grep) without retaining
+// full in-memory signal traces.
+//
+// Record kinds (field "k"):
+//
+//	sched   {"k":"sched","t":…,"at":…,"v":0|1,"node":…,"ch":…}
+//	deliver {"k":"deliver","t":…,"at":…,"v":0|1,"node":…,"ch":…}
+//	cancel  {"k":"cancel","t":…,"at":…,"v":0|1,"node":…,"ch":…}
+//	delta   {"k":"delta","t":…,"rounds":…}
+//	annih   {"k":"annih","t":…,"node":…}
+//
+// "t" is the simulation time of the action, "at" the (scheduled) delivery
+// time, "ch" the "from→to/pin" channel label (omitted for input stimuli).
+// Writes are buffered; call Flush before reading the output. The first
+// write error is sticky and returned by Flush — hooks themselves cannot
+// fail, so the simulator is never interrupted by a broken sink.
+type EventTrace struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewEventTrace returns a sink writing to w.
+func NewEventTrace(w io.Writer) *EventTrace {
+	return &EventTrace{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Flush drains the buffer and reports the first error encountered.
+func (et *EventTrace) Flush() error {
+	if err := et.w.Flush(); et.err == nil {
+		et.err = err
+	}
+	return et.err
+}
+
+func (et *EventTrace) event(kind string, e sim.Event) {
+	if et.err != nil {
+		return
+	}
+	_, err := fmt.Fprintf(et.w, `{"k":%q,"t":%s,"at":%s,"v":%d,"node":%s`,
+		kind, jnum(e.Now), jnum(e.At), e.To, jstr(e.Node))
+	if err == nil && e.Channel != "" {
+		_, err = fmt.Fprintf(et.w, `,"ch":%s`, jstr(e.Channel))
+	}
+	if err == nil {
+		_, err = et.w.WriteString("}\n")
+	}
+	et.err = err
+}
+
+// EventScheduled implements sim.Observer.
+func (et *EventTrace) EventScheduled(e sim.Event) { et.event("sched", e) }
+
+// EventDelivered implements sim.Observer.
+func (et *EventTrace) EventDelivered(e sim.Event) { et.event("deliver", e) }
+
+// EventCanceled implements sim.Observer.
+func (et *EventTrace) EventCanceled(e sim.Event) { et.event("cancel", e) }
+
+// DeltaCycleDone implements sim.Observer.
+func (et *EventTrace) DeltaCycleDone(t float64, rounds int) {
+	if et.err != nil {
+		return
+	}
+	_, et.err = fmt.Fprintf(et.w, `{"k":"delta","t":%s,"rounds":%d}`+"\n", jnum(t), rounds)
+}
+
+// Annihilation implements sim.Observer.
+func (et *EventTrace) Annihilation(node string, t float64) {
+	if et.err != nil {
+		return
+	}
+	_, et.err = fmt.Fprintf(et.w, `{"k":"annih","t":%s,"node":%s}`+"\n", jnum(t), jstr(node))
+}
+
+// jnum formats a float as a JSON number.
+func jnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// jstr JSON-escapes a string (node and channel names are arbitrary netlist
+// identifiers).
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

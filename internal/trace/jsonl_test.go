@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/gate"
+	"involution/internal/signal"
+	"involution/internal/sim"
+)
+
+func TestEventTraceJSONL(t *testing.T) {
+	pure, err := channel.NewPure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("pipe")
+	for _, step := range []error{
+		c.AddInput("i"),
+		c.AddOutput("o"),
+		c.AddGate("b", gate.Buf(), signal.Low),
+		c.Connect("i", "b", 0, pure),
+		c.Connect("b", "o", 0, nil),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	in, err := signal.FromEdges(signal.Low, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	et := NewEventTrace(&buf)
+	res, err := sim.Run(c, map[string]signal.Signal{"i": in}, sim.Options{Horizon: 20, Observer: et})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := et.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line must be valid JSON with a known kind; counts must agree
+	// with the run stats.
+	counts := map[string]int{}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var rec struct {
+			K      string   `json:"k"`
+			T      *float64 `json:"t"`
+			At     *float64 `json:"at"`
+			V      *int     `json:"v"`
+			Node   string   `json:"node"`
+			Ch     string   `json:"ch"`
+			Rounds int      `json:"rounds"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		counts[rec.K]++
+		if rec.T == nil {
+			t.Fatalf("line %q missing t", sc.Text())
+		}
+		switch rec.K {
+		case "sched", "deliver", "cancel":
+			if rec.At == nil || rec.V == nil || rec.Node == "" {
+				t.Fatalf("line %q missing fields", sc.Text())
+			}
+		case "delta":
+			if rec.Rounds < 1 {
+				t.Fatalf("delta with %d rounds", rec.Rounds)
+			}
+		case "annih":
+		default:
+			t.Fatalf("unknown kind %q", rec.K)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if int64(counts["sched"]) != st.Scheduled || int64(counts["deliver"]) != st.Delivered ||
+		int64(counts["cancel"]) != st.Canceled || int64(counts["delta"]) != st.DeltaCycles {
+		t.Fatalf("trace counts %v disagree with stats %+v", counts, st)
+	}
+	if !strings.Contains(buf.String(), `"ch":"i→b/0"`) {
+		t.Fatal("channel label missing from trace")
+	}
+}
+
+// failWriter errors after n bytes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errShort
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+func TestEventTraceStickyError(t *testing.T) {
+	et := NewEventTrace(&failWriter{n: 8})
+	for i := 0; i < 20000; i++ {
+		et.DeltaCycleDone(float64(i), 1)
+	}
+	if err := et.Flush(); err == nil {
+		t.Fatal("want sticky write error")
+	}
+}

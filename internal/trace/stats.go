@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"involution/internal/obs"
+	"involution/internal/sim"
+)
+
+// StatsReport is the stable machine-readable run summary emitted by the
+// CLIs' -stats-json flag (schema documented in README §Observability).
+type StatsReport struct {
+	// Circuit is the simulated circuit's name.
+	Circuit string `json:"circuit"`
+	// Horizon is the configured simulation horizon.
+	Horizon float64 `json:"horizon"`
+	// Events is the number of delivered events (partial when Aborted).
+	Events int64 `json:"events"`
+	// Aborted is true when the run stopped before the horizon.
+	Aborted bool `json:"aborted"`
+	// Error is the abort cause (empty for completed runs).
+	Error string `json:"error,omitempty"`
+	// Stats is the execution profile (sim.RunStats JSON encoding).
+	Stats sim.RunStats `json:"stats"`
+}
+
+// WriteStatsJSON writes the report as indented JSON with a stable field
+// order (struct order above; CancelsByChannel keys are sorted by
+// encoding/json).
+func WriteStatsJSON(w io.Writer, r StatsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FormatStats renders a human-readable multi-line stats block.
+func FormatStats(st sim.RunStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events     : scheduled %d, delivered %d, canceled %d, annihilated %d\n",
+		st.Scheduled, st.Delivered, st.Canceled, st.Annihilated)
+	fmt.Fprintf(&b, "queue      : high-water %d\n", st.QueueHighWater)
+	fmt.Fprintf(&b, "delta      : %d cycles, max %d rounds, hist", st.DeltaCycles, st.MaxDeltaRounds)
+	for i, n := range st.DeltaRounds {
+		if n == 0 {
+			continue
+		}
+		if i < len(sim.DeltaRoundBuckets) {
+			fmt.Fprintf(&b, " ≤%d:%d", sim.DeltaRoundBuckets[i], n)
+		} else {
+			fmt.Fprintf(&b, " >%d:%d", sim.DeltaRoundBuckets[len(sim.DeltaRoundBuckets)-1], n)
+		}
+	}
+	b.WriteString("\n")
+	if len(st.CancelsByChannel) > 0 {
+		chans := make([]string, 0, len(st.CancelsByChannel))
+		for c := range st.CancelsByChannel {
+			chans = append(chans, c)
+		}
+		sort.Strings(chans)
+		b.WriteString("cancels    :")
+		for _, c := range chans {
+			fmt.Fprintf(&b, " %s×%d", c, st.CancelsByChannel[c])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "throughput : %.3g events/s (%v wall)\n", st.EventsPerSecond(), st.Duration)
+	return b.String()
+}
+
+// RegisterRunStats publishes a run's statistics into a metrics registry
+// under the sim_* namespace — the bridge between the per-run RunStats and
+// the /metrics exposition of the CLIs.
+func RegisterRunStats(reg *obs.Registry, st sim.RunStats) {
+	reg.Counter("sim_events_scheduled_total", "events enqueued (stimuli + channel outputs)").Add(st.Scheduled)
+	reg.Counter("sim_events_delivered_total", "events delivered to their destination node").Add(st.Delivered)
+	reg.Counter("sim_events_canceled_total", "channel outputs canceled by the non-FIFO rule").Add(st.Canceled)
+	reg.Counter("sim_annihilations_total", "zero-width pulses dropped from recorded signals").Add(st.Annihilated)
+	reg.Counter("sim_delta_cycles_total", "distinct timestamps processed").Add(st.DeltaCycles)
+	reg.Gauge("sim_queue_high_water", "maximum event-queue length reached").Set(float64(st.QueueHighWater))
+	reg.Gauge("sim_run_duration_seconds", "wall-clock duration of the run").Set(st.Duration.Seconds())
+	h := reg.Histogram("sim_delta_rounds", "zero-delay rounds per delta cycle", obs.DeltaRoundBuckets)
+	for i, n := range st.DeltaRounds {
+		// Re-observe each bucket at a representative value: the bucket
+		// bound itself (the overflow bucket at one past the last bound).
+		v := obs.DeltaRoundBuckets[len(obs.DeltaRoundBuckets)-1] + 1
+		if i < len(sim.DeltaRoundBuckets) {
+			v = float64(sim.DeltaRoundBuckets[i])
+		}
+		for k := int64(0); k < n; k++ {
+			h.Observe(v)
+		}
+	}
+}

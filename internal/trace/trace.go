@@ -18,9 +18,16 @@ import (
 // WriteVCD dumps the signals as a Value Change Dump. Times are divided by
 // resolution and rounded to integer ticks of the given timescale (e.g.
 // "1ps"). Signals are emitted in sorted name order for determinism.
+//
+// Transitions of one signal that round to the same tick are collapsed to
+// the final value at that tick; a collapsed run that lands back on the
+// previously dumped value (a sub-resolution glitch) is dropped entirely, so
+// the output never toggles a wire twice at one timestamp. Times that map to
+// a negative or non-finite tick (overflow of the resolution division) are
+// rejected, as is a non-finite resolution.
 func WriteVCD(w io.Writer, signals map[string]signal.Signal, timescale string, resolution float64) error {
-	if resolution <= 0 {
-		return fmt.Errorf("trace: resolution %g must be positive", resolution)
+	if !(resolution > 0) || math.IsInf(resolution, 0) {
+		return fmt.Errorf("trace: resolution %g must be positive and finite", resolution)
 	}
 	names := make([]string, 0, len(signals))
 	for n := range signals {
@@ -51,7 +58,8 @@ func WriteVCD(w io.Writer, signals map[string]signal.Signal, timescale string, r
 		return err
 	}
 
-	// Merge all transitions into a single time-ordered dump.
+	// Merge all transitions into a single time-ordered dump, collapsing
+	// per-signal sub-resolution runs first.
 	type change struct {
 		tick int64
 		val  signal.Value
@@ -60,9 +68,28 @@ func WriteVCD(w io.Writer, signals map[string]signal.Signal, timescale string, r
 	var changes []change
 	for _, n := range names {
 		s := signals[n]
+		var sig []change // this signal's changes, one per distinct tick
 		for i := 0; i < s.Len(); i++ {
 			tr := s.Transition(i)
-			changes = append(changes, change{tick: int64(math.Round(tr.At / resolution)), val: tr.To, id: ids[n]})
+			tickF := math.Round(tr.At / resolution)
+			if math.IsNaN(tickF) || tickF < 0 || tickF >= math.MaxInt64 {
+				return fmt.Errorf("trace: signal %q transition at t=%g maps to invalid tick %g (resolution %g)", n, tr.At, tickF, resolution)
+			}
+			tick := int64(tickF)
+			if k := len(sig); k > 0 && sig[k-1].tick == tick {
+				sig[k-1].val = tr.To // collapse within one tick
+				continue
+			}
+			sig = append(sig, change{tick: tick, val: tr.To, id: ids[n]})
+		}
+		// Drop collapsed runs that end on the value already dumped.
+		prev := s.Initial()
+		for _, c := range sig {
+			if c.val == prev {
+				continue
+			}
+			changes = append(changes, c)
+			prev = c.val
 		}
 	}
 	sort.SliceStable(changes, func(i, j int) bool { return changes[i].tick < changes[j].tick })
