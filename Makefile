@@ -23,10 +23,11 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # bench runs the core simulator benchmarks (the O(1) retirement guard,
-# the cancellation-churn workload, the observer fast-path comparison and
-# the end-to-end ring oscillator) and writes BENCH_sim.json — the
-# machine-readable evidence for the ≤2 % no-observer overhead budget.
-BENCH_PATTERN := BenchmarkDeepPendingRetirement|BenchmarkCancellationHeavyChain|BenchmarkObserverOverhead|BenchmarkSimulatorRingOscillator
+# the cancellation-churn workload, the observer fast-path comparison, the
+# event-time validation on/off pair and the end-to-end ring oscillator)
+# and writes BENCH_sim.json — the machine-readable evidence for the ≤2 %
+# no-observer and ≤2 % scheduling-time-validation overhead budgets.
+BENCH_PATTERN := BenchmarkDeepPendingRetirement|BenchmarkCancellationHeavyChain|BenchmarkObserverOverhead|BenchmarkEventTimeValidation|BenchmarkSimulatorRingOscillator
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 ./internal/sim/ . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_sim.json

@@ -1,0 +1,319 @@
+// Command faultsim runs fault-injection campaigns: it sweeps a grid of
+// (site × fault model) scenarios over a circuit, simulates each against a
+// fault-free baseline, and classifies the outcomes
+// (masked/filtered/propagated/latched/aborted).
+//
+// Usage:
+//
+//	faultsim                          # built-in Fig. 5 SPF, default grid
+//	faultsim -adversary maxup -csv out.csv
+//	faultsim -f design.net -in 'i=0 r@1 f@2.5' -horizon 100
+//
+// Without -f the built-in single-pulse filter of Fig. 5 is used with the
+// reference η-involution loop channel; the default fault grid is then sized
+// from the loop analysis (SET widths spanning the cancel/metastable/lock
+// regimes). With -f the grid parameters are scaled from the horizon.
+//
+// Every scenario runs under the campaign's event budget, wall-clock
+// deadline and panic isolation: a pathological fault cannot crash the
+// process — it yields an "aborted" row with partial statistics.
+//
+// Reports are deterministic for a fixed -seed (byte-identical CSV/JSONL).
+//
+// Exit codes: 0 when the campaign ran (aborted scenarios are contained
+// results, not process failures), 1 on usage, I/O or baseline errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"strings"
+
+	"involution/internal/adversary"
+	"involution/internal/circuit"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/experiments"
+	"involution/internal/fault"
+	"involution/internal/netlist"
+	"involution/internal/obs"
+	"involution/internal/signal"
+	"involution/internal/sim"
+	"involution/internal/spf"
+	"involution/internal/trace"
+)
+
+type stimuli map[string]signal.Signal
+
+func (s stimuli) String() string { return fmt.Sprintf("%d stimuli", len(s)) }
+
+func (s stimuli) Set(v string) error {
+	name, text, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want <port>=<signal>, got %q", v)
+	}
+	sig, err := signal.Parse(strings.TrimSpace(text))
+	if err != nil {
+		return err
+	}
+	s[strings.TrimSpace(name)] = sig
+	return nil
+}
+
+func main() {
+	file := flag.String("f", "", "netlist file (default: built-in Fig. 5 SPF circuit)")
+	adv := flag.String("adversary", "zero", "η adversary for the built-in circuit: zero|worst|maxup|uniform")
+	horizon := flag.Float64("horizon", 600, "simulation horizon per scenario")
+	seed := flag.Int64("seed", 1, "campaign seed (scenario rngs and reports derive from it)")
+	maxEvents := flag.Int("max-events", 0, "event budget per scenario run (0: simulator default)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline per scenario run (0: none)")
+	csvPath := flag.String("csv", "", `write the per-scenario report as CSV to this file ("-" = stdout)`)
+	jsonlPath := flag.String("jsonl", "", `write the per-scenario report as JSONL to this file ("-" = stdout)`)
+	statsJSON := flag.String("stats-json", "", `write the aggregate stats report to this file ("-" = stdout)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /debug/vars on this address and stay alive after the run")
+	in := stimuli{}
+	flag.Var(in, "in", "input stimulus, e.g. 'i=0 r@1 f@2.5' (repeatable; default: constant zero)")
+	flag.Parse()
+
+	var reg *obs.Registry
+	if *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		reg.PublishExpvar("faultsim")
+		http.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "faultsim: pprof server:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("profiling server on http://%s/debug/pprof/ (metrics at /metrics, expvar at /debug/vars)\n", *pprofAddr)
+	}
+
+	var (
+		c      *circuit.Circuit
+		models []fault.Model
+		err    error
+	)
+	if *file != "" {
+		c, err = parseNetlist(*file)
+		if err != nil {
+			fatal(err)
+		}
+		models = defaultModels(setWidths(nil, *horizon), *horizon)
+	} else {
+		var sys *spf.System
+		c, sys, err = buildSPF(*adv, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		a := sys.Analysis
+		fmt.Printf("built-in Fig. 5 SPF, adversary %s: cancel ≤ %.4f < metastable (Δ̃₀=%.4f) < %.4f ≤ lock\n",
+			*adv, a.CancelBound, a.Delta0Tilde, a.LockBound)
+		models = defaultModels(setWidths(&a, *horizon), *horizon)
+	}
+
+	st := c.Stats()
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates, %d channels (%d zero-delay)\n",
+		c.Name, st.Inputs, st.Outputs, st.Gates, st.Channels, st.ZeroDelay)
+
+	// Default unmentioned inputs to constant zero.
+	inputs := map[string]signal.Signal{}
+	for _, name := range c.Inputs() {
+		if sig, ok := in[name]; ok {
+			inputs[name] = sig
+		} else {
+			inputs[name] = signal.Zero()
+		}
+	}
+	for name := range in {
+		if _, ok := inputs[name]; !ok {
+			fatal(fmt.Errorf("stimulus for unknown input port %q", name))
+		}
+	}
+
+	camp := &fault.Campaign{
+		Circuit:   c,
+		Inputs:    inputs,
+		Horizon:   *horizon,
+		MaxEvents: *maxEvents,
+		Deadline:  *deadline,
+		Seed:      *seed,
+	}
+	scenarios := fault.Grid(fault.Sites(c), models)
+	fmt.Printf("campaign grid: %d scenarios (%d sites × %d models, inapplicable pairs skipped), seed %d\n",
+		len(scenarios), len(fault.Sites(c)), len(models), *seed)
+
+	rep, err := camp.Run(scenarios)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Format())
+
+	if err := writeReport(*csvPath, rep.WriteCSV); err != nil {
+		fatal(err)
+	}
+	if err := writeReport(*jsonlPath, rep.WriteJSONL); err != nil {
+		fatal(err)
+	}
+
+	// Aggregate event totals across the campaign (per-scenario figures are
+	// in the CSV/JSONL rows).
+	var agg sim.RunStats
+	for _, row := range rep.Rows {
+		agg.Scheduled += row.Scheduled
+		agg.Delivered += row.Delivered
+		agg.Canceled += row.Canceled
+	}
+	if *statsJSON != "" {
+		report := trace.StatsReport{
+			Circuit: c.Name,
+			Horizon: *horizon,
+			Events:  agg.Delivered,
+			Aborted: rep.Counts[fault.Aborted.String()] > 0,
+			Stats:   agg,
+		}
+		if report.Aborted {
+			report.Error = fmt.Sprintf("%d of %d scenarios aborted", rep.Counts[fault.Aborted.String()], len(rep.Rows))
+		}
+		out := os.Stdout
+		if *statsJSON != "-" {
+			out, err = os.Create(*statsJSON)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if err := trace.WriteStatsJSON(out, report); err != nil {
+			fatal(err)
+		}
+		if out != os.Stdout {
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *statsJSON)
+		}
+	}
+
+	if reg != nil {
+		rep.Register(reg)
+		trace.RegisterRunStats(reg, agg)
+		fmt.Printf("campaign finished; profiling server still on %s — interrupt to exit\n", *pprofAddr)
+		select {}
+	}
+}
+
+func parseNetlist(path string) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return netlist.Parse(f)
+}
+
+// buildSPF constructs the Fig. 5 single-pulse filter over the reference
+// η-involution loop channel under the named adversary.
+func buildSPF(adv string, seed int64) (*circuit.Circuit, *spf.System, error) {
+	loop, err := core.New(delay.MustExp(experiments.ReferenceExp), experiments.ReferenceEta)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		return nil, nil, err
+	}
+	var mk func() adversary.Strategy
+	switch adv {
+	case "zero":
+		mk = nil
+	case "worst":
+		mk = func() adversary.Strategy { return adversary.MinUpTime{} }
+	case "maxup":
+		mk = func() adversary.Strategy { return adversary.MaxUpTime{} }
+	case "uniform":
+		rng := rand.New(rand.NewSource(seed))
+		mk = func() adversary.Strategy { return adversary.Uniform{Rng: rng} }
+	default:
+		return nil, nil, fmt.Errorf("unknown adversary %q (want zero|worst|maxup|uniform)", adv)
+	}
+	c, err := sys.Build(mk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, sys, nil
+}
+
+// setWidths picks SET pulse widths: spanning the cancel/metastable/lock
+// regimes when a loop analysis is available, fractions of the horizon
+// otherwise.
+func setWidths(a *core.Analysis, horizon float64) []float64 {
+	if a != nil {
+		return []float64{
+			0.3 * a.CancelBound,
+			0.9 * a.CancelBound,
+			0.5 * (a.CancelBound + a.Delta0Tilde),
+			2.0 * a.LockBound,
+		}
+	}
+	return []float64{1e-3 * horizon, 1e-2 * horizon, 5e-2 * horizon, 0.1 * horizon}
+}
+
+// defaultModels builds the default campaign grid: SETs at four strike times
+// for each width, stuck-at-0/1 at three onsets, and the three wrapper fault
+// families on channel edges. Over the 4-site SPF circuit this yields 102
+// scenarios.
+func defaultModels(widths []float64, horizon float64) []fault.Model {
+	var out []fault.Model
+	for _, frac := range []float64{0.05, 0.25, 0.5, 0.8} {
+		for _, w := range widths {
+			out = append(out, fault.SET{At: frac * horizon, Width: w})
+		}
+	}
+	for _, v := range []signal.Value{signal.High, signal.Low} {
+		for _, frac := range []float64{0, 0.25, 0.6} {
+			out = append(out, fault.StuckAt{V: v, From: frac * horizon})
+		}
+	}
+	out = append(out,
+		fault.DelayPushout{DUp: 0.01 * horizon, DDown: 0.01 * horizon},
+		fault.DelayPushout{DUp: 0.05 * horizon},
+		fault.DelayPushout{DDown: 0.05 * horizon},
+		fault.Drop{From: 0, Count: 1},
+		fault.Drop{From: 0, Count: 3},
+		fault.Dup{Gap: 0.02 * horizon, Width: 0.01 * horizon},
+		fault.Dup{Gap: 0.1 * horizon, Width: 0.05 * horizon},
+	)
+	return out
+}
+
+// writeReport writes one report rendering to path ("-" = stdout, "" = skip).
+func writeReport(path string, render func(w io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultsim:", err)
+	os.Exit(1)
+}

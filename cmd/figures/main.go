@@ -20,6 +20,7 @@ import (
 	"involution/internal/core"
 	"involution/internal/delay"
 	"involution/internal/experiments"
+	"involution/internal/fault"
 	"involution/internal/fit"
 	"involution/internal/signal"
 	"involution/internal/sim"
@@ -44,7 +45,7 @@ func budgetRow(name string, st sim.RunStats) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2|4|7|8a|8b|8c|9|thm9|spf|contrast|chain|srlatch|tail|window|ring|all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2|4|7|8a|8b|8c|9|thm9|spf|set|contrast|chain|srlatch|tail|window|ring|all")
 	out := flag.String("out", "", "directory for CSV output (omit to skip CSV)")
 	points := flag.Int("points", 9, "Δ₀ sweep points per adversary for thm9")
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 	run("4", fig4)
 	run("thm9", func(dir string) error { return thm9(dir, *points) })
 	run("spf", spfCheck)
+	run("set", setSweep)
 	run("7", fig7)
 	run("8a", func(dir string) error { return fig8(dir, "8a", experiments.Fig8a) })
 	run("8b", func(dir string) error { return fig8(dir, "8b", experiments.Fig8b) })
@@ -356,6 +358,52 @@ func spfCheck(dir string) error {
 		sys.Buffer.Tau, sys.Buffer.TP, sys.Buffer.Vth, sys.Theta, sys.GammaBound)
 	_ = dir
 	return nil
+}
+
+// setSweep runs the SET-filtering fault campaign over the SPF circuit: one
+// strike per width regime on the quiet input, classified per adversary.
+func setSweep(dir string) error {
+	results, sys, err := experiments.SETFilteringSweep(1200, 7)
+	if err != nil {
+		return err
+	}
+	if err := experiments.VerifySETSweep(results, sys); err != nil {
+		return fmt.Errorf("prediction violated: %w", err)
+	}
+	a := sys.Analysis
+	fmt.Printf("SET filtering on the Fig. 5 SPF (strike at t=5 on %s→%s, quiet input):\n", spf.NodeIn, spf.NodeOr)
+	fmt.Printf("regimes: cancel ≤ %.4f  <  metastable (Δ̃₀=%.4f)  <  %.4f ≤ lock\n", a.CancelBound, a.Delta0Tilde, a.LockBound)
+	fmt.Printf("%10s", "width")
+	for _, r := range results {
+		fmt.Printf(" %-11s", r.Adversary)
+	}
+	fmt.Println()
+	// Every campaign runs the same width grid, so rows align across columns.
+	for i := 0; i < len(results[0].Report.Rows); i++ {
+		var w float64
+		fmt.Sscanf(results[0].Report.Rows[i].Model, "set(t=5,w=%g)", &w)
+		fmt.Printf("%10.4f", w)
+		for _, r := range results {
+			fmt.Printf(" %-11s", r.Report.Rows[i].Outcome)
+		}
+		fmt.Println()
+	}
+	fmt.Println("sub-cancel strikes filtered and above-lock strikes latched under every adversary ✓")
+	series := map[string][]trace.Point{}
+	for _, r := range results {
+		for _, row := range r.Report.Rows {
+			var w float64
+			fmt.Sscanf(row.Model, "set(t=5,w=%g)", &w)
+			code := -1.0
+			for j, o := range fault.Outcomes {
+				if row.Outcome == o.String() {
+					code = float64(j)
+				}
+			}
+			series["outcome_"+r.Adversary] = append(series["outcome_"+r.Adversary], trace.Point{X: w, Y: code})
+		}
+	}
+	return writeCSV(dir, "set.csv", series)
 }
 
 func fig7(dir string) error {

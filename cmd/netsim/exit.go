@@ -1,0 +1,28 @@
+package main
+
+import "involution/internal/sim"
+
+// Process exit codes. Distinct codes let scripts and CI tell resource
+// exhaustion from wall-clock overrun from an internal panic without parsing
+// stderr.
+const (
+	exitOK       = 0
+	exitUsage    = 1 // usage or I/O errors
+	exitBudget   = 2 // event budget exhausted (and other mid-run aborts)
+	exitDeadline = 3 // wall-clock deadline exceeded
+	exitPanic    = 4 // panic recovered inside the run
+)
+
+// abortExit maps a sim abort class to the process exit code.
+func abortExit(class string) int {
+	switch class {
+	case sim.ClassDeadline:
+		return exitDeadline
+	case sim.ClassPanic:
+		return exitPanic
+	default:
+		// Budget, watch, oscillation, bad event times and unclassified
+		// aborts share the generic mid-run abort code.
+		return exitBudget
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"involution/internal/sim"
+)
+
+func TestAbortExitMapping(t *testing.T) {
+	cases := []struct {
+		class string
+		want  int
+	}{
+		{sim.ClassBudget, exitBudget},
+		{sim.ClassDeadline, exitDeadline},
+		{sim.ClassPanic, exitPanic},
+		{sim.ClassBadTime, exitBudget},
+		{sim.ClassWatch, exitBudget},
+		{sim.ClassOscillation, exitBudget},
+		{sim.ClassOther, exitBudget},
+		{"some-future-class", exitBudget},
+	}
+	for _, c := range cases {
+		if got := abortExit(c.class); got != c.want {
+			t.Errorf("abortExit(%q) = %d, want %d", c.class, got, c.want)
+		}
+	}
+}

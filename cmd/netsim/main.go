@@ -14,9 +14,11 @@
 // net/http/pprof plus /metrics and /debug/vars and keeps the process alive
 // after the run for interactive profiling.
 //
-// Exit codes: 0 on success, 1 on usage or I/O errors, 2 when the
-// simulation aborts mid-run (event budget exhausted or a watch condition
-// failed) — stats are still emitted for aborted runs, with partial counts.
+// Exit codes: 0 on success, 1 on usage or I/O errors; mid-run aborts get a
+// distinct code per cause — 2 for the event budget (and other generic
+// aborts such as failed watch conditions), 3 for the -deadline wall-clock
+// limit, 4 for a panic recovered inside the run. Stats are still emitted
+// for aborted runs, with partial counts.
 package main
 
 import (
@@ -56,6 +58,8 @@ func (s stimuli) Set(v string) error {
 func main() {
 	file := flag.String("f", "", "netlist file (required)")
 	horizon := flag.Float64("horizon", 100, "simulation horizon")
+	maxEvents := flag.Int("max-events", 0, "event budget for the run (0: simulator default)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the run (0: none)")
 	vcd := flag.String("vcd", "", "write traces as VCD to this file")
 	wavejson := flag.String("wavejson", "", "write traces as WaveDrom WaveJSON to this file")
 	dot := flag.String("dot", "", "write the circuit graph as DOT to this file")
@@ -67,6 +71,19 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /debug/vars on this address (e.g. :6060) and stay alive after the run")
 	in := stimuli{}
 	flag.Var(in, "in", "input stimulus, e.g. 'i=0 r@1 f@2.5' (repeatable)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintln(out, "Usage: netsim -f design.net [-in 'i=0 r@1 f@2.5'] [flags]")
+		flag.PrintDefaults()
+		fmt.Fprintf(out, `
+Exit codes:
+  %d  success
+  %d  usage or I/O error
+  %d  run aborted: event budget exhausted (or other mid-run abort)
+  %d  run aborted: wall-clock deadline exceeded
+  %d  run aborted: panic recovered inside the simulation
+`, exitOK, exitUsage, exitBudget, exitDeadline, exitPanic)
+	}
 	flag.Parse()
 
 	if *file == "" {
@@ -122,7 +139,7 @@ func main() {
 		}
 	}
 
-	opts := sim.Options{Horizon: *horizon}
+	opts := sim.Options{Horizon: *horizon, MaxEvents: *maxEvents, Deadline: *deadline}
 	var et *trace.EventTrace
 	var traceFile *os.File
 	if *traceEvents != "" {
@@ -144,12 +161,13 @@ func main() {
 		if !errors.As(err, &ab) {
 			fatal(err)
 		}
-		// Aborted mid-run: report the partial profile and exit 2, but
-		// still emit every requested stats artifact below.
+		// Aborted mid-run: report the partial profile and exit with the
+		// cause-specific code, but still emit every requested stats
+		// artifact below.
 		aborted = true
 		abortMsg = err.Error()
 		runStats = ab.Stats
-		exit = 2
+		exit = abortExit(ab.Class())
 		fmt.Fprintf(os.Stderr, "netsim: run aborted after %d events: %v\n", ab.Stats.Delivered, err)
 	} else {
 		runStats = res.Stats

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// ringNetlist oscillates forever: an inverter fed back onto itself through
+// an exp channel. Useful for driving the run into its budget or deadline.
+const ringNetlist = `
+circuit ring
+output o
+gate n NOT init=1
+channel n n 0 exp tau=1 tp=0.5 vth=0.6
+channel n o 0 zero
+`
+
+// pulseNetlist settles quickly: a buffered pulse path.
+const pulseNetlist = `
+circuit pulse
+input i
+output o
+gate g BUF init=0
+channel i g 0 pure d=1
+channel g o 0 zero
+`
+
+// TestExitCodes builds the real binary and checks the documented exit code
+// for each termination cause end to end.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the netsim binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "netsim")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	ring := filepath.Join(dir, "ring.net")
+	if err := os.WriteFile(ring, []byte(ringNetlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pulse := filepath.Join(dir, "pulse.net")
+	if err := os.WriteFile(pulse, []byte(pulseNetlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"-f", pulse, "-in", "i=0 r@1 f@3", "-horizon", "10"}, exitOK},
+		{"usage", []string{}, exitUsage},
+		{"budget", []string{"-f", ring, "-horizon", "1e12", "-max-events", "100"}, exitBudget},
+		{"deadline", []string{"-f", ring, "-horizon", "1e12", "-deadline", "50ms"}, exitDeadline},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command(bin, c.args...)
+			out, err := cmd.CombinedOutput()
+			got := 0
+			if err != nil {
+				ee, ok := err.(*exec.ExitError)
+				if !ok {
+					t.Fatalf("run: %v\n%s", err, out)
+				}
+				got = ee.ExitCode()
+			}
+			if got != c.want {
+				t.Fatalf("exit code %d, want %d\n%s", got, c.want, out)
+			}
+		})
+	}
+}

@@ -37,6 +37,11 @@ type Action struct {
 	Schedule bool
 	At       float64
 	To       signal.Value
+	// Extra holds additional output transitions to schedule after the
+	// primary one, with strictly increasing times greater than At. No
+	// classical channel model emits extras; fault-injection wrappers
+	// (package fault) use them to append duplicate/echo transitions.
+	Extra []signal.Transition
 }
 
 // Instance is the stateful online form of a channel, consumed by the
@@ -78,6 +83,12 @@ func Run(m Model, s signal.Signal) (signal.Signal, error) {
 				return signal.Signal{}, fmt.Errorf("channel: non-FIFO schedule at %g after %g", act.At, sched[len(sched)-1].At)
 			}
 			sched = append(sched, signal.Transition{At: act.At, To: act.To})
+		}
+		for _, ex := range act.Extra {
+			if len(sched) > 0 && ex.At <= sched[len(sched)-1].At {
+				return signal.Signal{}, fmt.Errorf("channel: non-FIFO extra schedule at %g after %g", ex.At, sched[len(sched)-1].At)
+			}
+			sched = append(sched, ex)
 		}
 	}
 	out, err := signal.New(s.Initial(), sched...)

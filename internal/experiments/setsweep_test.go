@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestSETFilteringSweepPredictions(t *testing.T) {
+	results, sys, err := SETFilteringSweep(1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("want 4 adversaries, got %d", len(results))
+	}
+	if err := VerifySETSweep(results, sys); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Report.Scenarios != 6 {
+			t.Fatalf("%s: %d scenarios, want 6", r.Adversary, r.Report.Scenarios)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"involution/internal/circuit"
+	"involution/internal/obs"
+	"involution/internal/signal"
+	"involution/internal/sim"
+)
+
+// Outcome classifies one fault scenario against the fault-free baseline.
+type Outcome int
+
+// Scenario outcomes.
+const (
+	// Aborted: the run did not complete (event budget, deadline, panic, bad
+	// event time, …); the row carries the abort class and partial stats.
+	Aborted Outcome = iota
+	// Masked: every node signal matches the baseline — the fault was
+	// logically absorbed before reaching any probe.
+	Masked
+	// Filtered: the outputs match the baseline but some probe node differs —
+	// the fault propagated internally and was removed before the outputs
+	// (the SPF behavior).
+	Filtered
+	// Propagated: the outputs differ transiently but end at the baseline
+	// values.
+	Propagated
+	// Latched: an output ends at a different value than the baseline — the
+	// fault was captured as state.
+	Latched
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Aborted:
+		return "aborted"
+	case Masked:
+		return "masked"
+	case Filtered:
+		return "filtered"
+	case Propagated:
+		return "propagated"
+	case Latched:
+		return "latched"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Outcomes lists all outcomes in report order.
+var Outcomes = []Outcome{Masked, Filtered, Propagated, Latched, Aborted}
+
+// Scenario is one (site, model) pair of a campaign grid.
+type Scenario struct {
+	ID    int
+	Site  Site
+	Model Model
+}
+
+// Grid crosses sites with fault models, skipping pairs the model does not
+// apply to (wrapper faults on zero-delay edges), and numbers the scenarios.
+func Grid(sites []Site, models []Model) []Scenario {
+	var out []Scenario
+	for _, m := range models {
+		for _, s := range sites {
+			if !m.AppliesTo(s) {
+				continue
+			}
+			out = append(out, Scenario{ID: len(out), Site: s, Model: m})
+		}
+	}
+	return out
+}
+
+// Campaign sweeps fault scenarios over one circuit and stimulus set. Every
+// scenario runs with the campaign's event budget and wall-clock deadline
+// and with panic isolation, so a single pathological fault cannot kill the
+// sweep: it is reported as aborted with partial statistics instead.
+type Campaign struct {
+	// Circuit is the fault-free circuit; it is never mutated.
+	Circuit *circuit.Circuit
+	// Inputs is the stimulus set applied to every scenario.
+	Inputs map[string]signal.Signal
+	// Horizon bounds simulated time per run.
+	Horizon float64
+	// MaxEvents caps events per run (0: the simulator default).
+	MaxEvents int
+	// Deadline bounds wall-clock time per run (0: none).
+	Deadline time.Duration
+	// Seed derives every scenario's rng: scenario i uses a rand.Rand seeded
+	// from (Seed, i) only, so campaigns are reproducible run-to-run and
+	// independent of scenario execution order.
+	Seed int64
+	// Probes are the node names compared to distinguish masked from
+	// filtered scenarios. Empty: all gate nodes of the circuit.
+	Probes []string
+}
+
+// Row is one scenario's result. It deliberately excludes wall-clock fields
+// so reports for a fixed seed are byte-identical across runs.
+type Row struct {
+	ID      int    `json:"id"`
+	Site    string `json:"site"`
+	Model   string `json:"model"`
+	Outcome string `json:"outcome"`
+	// Abort is the sim abort class for aborted rows ("budget", "deadline",
+	// "panic", "bad-time", …; "instrument" when injection itself failed).
+	Abort     string `json:"abort,omitempty"`
+	Scheduled int64  `json:"scheduled"`
+	Delivered int64  `json:"delivered"`
+	Canceled  int64  `json:"canceled"`
+}
+
+// Report is the outcome of a campaign.
+type Report struct {
+	Circuit   string
+	Seed      int64
+	Horizon   float64
+	Scenarios int
+	Rows      []Row
+	// Counts maps Outcome.String() to the number of rows with that outcome.
+	Counts map[string]int
+}
+
+// AbortInstrument is the Row.Abort class for scenarios whose fault could
+// not be injected at all (invalid parameters or site).
+const AbortInstrument = "instrument"
+
+// Run executes the scenarios and classifies each against a baseline run of
+// the unmodified circuit. The baseline itself must complete; scenario
+// failures of any kind are contained in their rows.
+func (c *Campaign) Run(scenarios []Scenario) (*Report, error) {
+	opts := sim.Options{Horizon: c.Horizon, MaxEvents: c.MaxEvents, Deadline: c.Deadline}
+	base, err := sim.Run(c.Circuit, c.Inputs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fault: baseline run failed: %w", err)
+	}
+	probes := c.Probes
+	if len(probes) == 0 {
+		for _, n := range c.Circuit.Nodes() {
+			if n.Kind == circuit.KindGate {
+				probes = append(probes, n.Name)
+			}
+		}
+	}
+	outputs := c.Circuit.Outputs()
+
+	rep := &Report{
+		Circuit:   c.Circuit.Name,
+		Seed:      c.Seed,
+		Horizon:   c.Horizon,
+		Scenarios: len(scenarios),
+		Counts:    make(map[string]int),
+	}
+	for _, sc := range scenarios {
+		row := c.runScenario(sc, opts, base, outputs, probes)
+		rep.Rows = append(rep.Rows, row)
+		rep.Counts[row.Outcome]++
+	}
+	return rep, nil
+}
+
+// runScenario executes one scenario with panic isolation: a panic anywhere
+// in instrumentation or simulation yields an aborted row, never a crash.
+func (c *Campaign) runScenario(sc Scenario, opts sim.Options, base *sim.Result, outputs, probes []string) (row Row) {
+	row = Row{ID: sc.ID, Site: sc.Site.Label(), Model: sc.Model.String()}
+	defer func() {
+		if r := recover(); r != nil {
+			row.Outcome = Aborted.String()
+			row.Abort = sim.ClassPanic
+		}
+	}()
+	rng := rand.New(rand.NewSource(scenarioSeed(c.Seed, sc.ID)))
+	fc, fin, err := sc.Model.Instrument(c.Circuit, sc.Site, c.Inputs, rng)
+	if err != nil {
+		row.Outcome = Aborted.String()
+		row.Abort = AbortInstrument
+		return row
+	}
+	res, err := sim.Run(fc, fin, opts)
+	if err != nil {
+		row.Outcome = Aborted.String()
+		var ab *sim.AbortError
+		if errors.As(err, &ab) {
+			row.Abort = ab.Class()
+			row.Scheduled = ab.Stats.Scheduled
+			row.Delivered = ab.Stats.Delivered
+			row.Canceled = ab.Stats.Canceled
+		} else {
+			row.Abort = sim.ClassOther
+		}
+		return row
+	}
+	row.Scheduled = res.Stats.Scheduled
+	row.Delivered = res.Stats.Delivered
+	row.Canceled = res.Stats.Canceled
+	row.Outcome = classify(base, res, outputs, probes).String()
+	return row
+}
+
+// scenarioSeed mixes the campaign seed with the scenario id (splitmix-style
+// golden-ratio stride) so nearby ids get unrelated streams.
+func scenarioSeed(seed int64, id int) int64 {
+	x := uint64(seed) + uint64(id+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int64(x)
+}
+
+// classify compares a completed fault run against the baseline.
+func classify(base, res *sim.Result, outputs, probes []string) Outcome {
+	outsEqual := true
+	finalsEqual := true
+	for _, name := range outputs {
+		b, f := base.Signals[name], res.Signals[name]
+		if !sigEqual(b, f) {
+			outsEqual = false
+		}
+		if b.Final() != f.Final() {
+			finalsEqual = false
+		}
+	}
+	if !outsEqual {
+		if !finalsEqual {
+			return Latched
+		}
+		return Propagated
+	}
+	for _, name := range probes {
+		if !sigEqual(base.Signals[name], res.Signals[name]) {
+			return Filtered
+		}
+	}
+	return Masked
+}
+
+// sigEqual reports exact equality of two recorded signals.
+func sigEqual(a, b signal.Signal) bool {
+	if a.Initial() != b.Initial() || a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Transition(i) != b.Transition(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteCSV emits one row per scenario. The output is deterministic for a
+// fixed seed (no wall-clock fields).
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "id,site,model,outcome,abort,scheduled,delivered,canceled"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%d,%d,%d\n",
+			row.ID, csvEscape(row.Site), csvEscape(row.Model), row.Outcome, row.Abort,
+			row.Scheduled, row.Delivered, row.Canceled)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a field if it contains a comma or quote.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// WriteJSONL emits one JSON object per scenario row.
+func (r *Report) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, row := range r.Rows {
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format renders the campaign summary as a table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault campaign: circuit %q, %d scenarios, seed %d, horizon %g\n",
+		r.Circuit, r.Scenarios, r.Seed, r.Horizon)
+	for _, o := range Outcomes {
+		fmt.Fprintf(&b, "  %-12s %d\n", o.String(), r.Counts[o.String()])
+	}
+	aborts := make(map[string]int)
+	for _, row := range r.Rows {
+		if row.Abort != "" {
+			aborts[row.Abort]++
+		}
+	}
+	if len(aborts) > 0 {
+		classes := make([]string, 0, len(aborts))
+		for k := range aborts {
+			classes = append(classes, k)
+		}
+		sort.Strings(classes)
+		b.WriteString("  abort classes:")
+		for _, k := range classes {
+			fmt.Fprintf(&b, " %s=%d", k, aborts[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Register publishes the campaign counters into an obs metrics registry.
+func (r *Report) Register(reg *obs.Registry) {
+	reg.Counter("fault_scenarios_total", "fault scenarios executed").Add(int64(len(r.Rows)))
+	for _, o := range Outcomes {
+		reg.Counter("fault_outcome_"+o.String()+"_total",
+			"fault scenarios classified "+o.String()).Add(int64(r.Counts[o.String()]))
+	}
+}

@@ -1,0 +1,215 @@
+// Package fault is the fault-injection layer of the robustness story: it
+// perturbs a circuit structurally — single-event transients, stuck-at
+// faults, delay pushout, transition drop and duplication — and asks whether
+// the circuit still behaves, the experimental converse of the paper's
+// adversarial-η guarantees (and the direction pursued by Öhlinger & Schmid's
+// large-delay-variation work).
+//
+// A fault is described by a Model applied at a Site (a circuit edge).
+// Overlay models (SET, StuckAt) rewrite the circuit: the target edge is
+// routed through a synthetic two-input gate whose second pin is driven by a
+// fault-control input port, so the fault is an ordinary, fully simulable
+// stimulus. Wrapper models (DelayPushout, Drop, Dup) replace the edge's
+// channel model with a wrapped online instance that perturbs the scheduled
+// transitions. Either way Instrument returns a new circuit and stimulus set;
+// the originals are never mutated.
+//
+// Campaign sweeps (site × model) grids with per-run event budgets,
+// wall-clock deadlines and panic isolation, classifying each scenario
+// against a fault-free baseline run; see campaign.go.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/gate"
+	"involution/internal/signal"
+)
+
+// Names of the synthetic nodes an overlay fault adds to the circuit. They
+// are reserved: instrumenting a circuit that already contains them fails.
+const (
+	CtlInput  = "__fault_ctl"
+	FaultGate = "__fault_g"
+)
+
+// Site identifies one fault-injection site: a channel edge of the circuit.
+type Site struct {
+	From string
+	To   string
+	Pin  int
+	// Channel reports whether the edge carries a real channel model (wrapper
+	// faults need one; zero-delay port-attachment edges have none).
+	Channel bool
+}
+
+// Label renders the site as "from→to/pin".
+func (s Site) Label() string { return fmt.Sprintf("%s→%s/%d", s.From, s.To, s.Pin) }
+
+// Sites enumerates the fault-injection sites of a circuit — every edge, in
+// the circuit's deterministic edge order.
+func Sites(c *circuit.Circuit) []Site {
+	edges := c.Edges()
+	out := make([]Site, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, Site{From: e.From, To: e.To, Pin: e.Pin, Channel: e.Model != nil})
+	}
+	return out
+}
+
+// Model is a parametrized fault model.
+type Model interface {
+	// String names the model with its parameters (used in reports).
+	String() string
+	// AppliesTo reports whether the model can be injected at the site
+	// (wrapper faults require a channel-bearing edge).
+	AppliesTo(s Site) bool
+	// Instrument returns a copy of the circuit with the fault injected at
+	// the site, along with the stimulus set for the new circuit (overlay
+	// faults add a control stimulus). Any randomness must be drawn from rng
+	// only, so a scenario is reproducible from its seed. The input circuit
+	// and stimulus map are not mutated.
+	Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, rng *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error)
+}
+
+// findEdge locates the site's edge in the circuit.
+func findEdge(c *circuit.Circuit, s Site) (circuit.Edge, error) {
+	for _, e := range c.Edges() {
+		if e.From == s.From && e.To == s.To && e.Pin == s.Pin {
+			return e, nil
+		}
+	}
+	return circuit.Edge{}, fmt.Errorf("fault: no edge %s in circuit %q", s.Label(), c.Name)
+}
+
+// sourceInitial is the value the site's source node holds until time 0.
+func sourceInitial(c *circuit.Circuit, from string, inputs map[string]signal.Signal) (signal.Value, error) {
+	n, ok := c.Node(from)
+	if !ok {
+		return signal.Low, fmt.Errorf("fault: unknown node %q", from)
+	}
+	if n.Kind == circuit.KindInput {
+		in, ok := inputs[from]
+		if !ok {
+			return signal.Low, fmt.Errorf("fault: no stimulus for input port %q", from)
+		}
+		return in.Initial(), nil
+	}
+	return n.Initial, nil
+}
+
+// overlay rebuilds the circuit with the site's edge routed through a
+// synthetic gate fn whose pin 1 is driven by the ctl stimulus:
+//
+//	from ──(edge model)──▶ __fault_g ──(zero delay)──▶ to/pin
+//	__fault_ctl ──(zero delay)──▶ __fault_g pin 1
+//
+// The gate's initial output is fn evaluated on the initial values, so an
+// inactive fault introduces no spurious transition at time 0.
+func overlay(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, fn gate.Func, ctl signal.Signal) (*circuit.Circuit, map[string]signal.Signal, error) {
+	target, err := findEdge(c, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, reserved := range []string{CtlInput, FaultGate} {
+		if _, ok := c.Node(reserved); ok {
+			return nil, nil, fmt.Errorf("fault: circuit %q already contains %q", c.Name, reserved)
+		}
+	}
+	srcInit, err := sourceInitial(c, s.From, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	gateInit := fn.Eval([]signal.Value{srcInit, ctl.Initial()})
+
+	fc := circuit.New(c.Name + "+fault")
+	for _, n := range c.Nodes() {
+		switch n.Kind {
+		case circuit.KindInput:
+			err = fc.AddInput(n.Name)
+		case circuit.KindOutput:
+			err = fc.AddOutput(n.Name)
+		case circuit.KindGate:
+			err = fc.AddGate(n.Name, n.Fn, n.Initial)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	steps := []error{
+		fc.AddInput(CtlInput),
+		fc.AddGate(FaultGate, fn, gateInit),
+	}
+	for _, e := range c.Edges() {
+		if e.To == target.To && e.Pin == target.Pin {
+			continue // (To, Pin) is unique: this is the target edge
+		}
+		steps = append(steps, fc.Connect(e.From, e.To, e.Pin, e.Model))
+	}
+	steps = append(steps,
+		fc.Connect(s.From, FaultGate, 0, target.Model),
+		fc.Connect(CtlInput, FaultGate, 1, nil),
+		fc.Connect(FaultGate, s.To, s.Pin, nil),
+	)
+	for _, err := range steps {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := fc.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("fault: instrumented circuit invalid: %w", err)
+	}
+
+	fin := make(map[string]signal.Signal, len(inputs)+1)
+	for name, sig := range inputs {
+		fin[name] = sig
+	}
+	fin[CtlInput] = ctl
+	return fc, fin, nil
+}
+
+// rewrap rebuilds the circuit with the site's channel model replaced by
+// wrap(model). The site must carry a real channel model.
+func rewrap(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, wrap func(channel.Model) channel.Model) (*circuit.Circuit, map[string]signal.Signal, error) {
+	target, err := findEdge(c, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if target.Model == nil {
+		return nil, nil, fmt.Errorf("fault: edge %s has no channel model to wrap", s.Label())
+	}
+	fc := circuit.New(c.Name + "+fault")
+	for _, n := range c.Nodes() {
+		switch n.Kind {
+		case circuit.KindInput:
+			err = fc.AddInput(n.Name)
+		case circuit.KindOutput:
+			err = fc.AddOutput(n.Name)
+		case circuit.KindGate:
+			err = fc.AddGate(n.Name, n.Fn, n.Initial)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, e := range c.Edges() {
+		m := e.Model
+		if e.To == target.To && e.Pin == target.Pin {
+			m = wrap(m)
+		}
+		if err := fc.Connect(e.From, e.To, e.Pin, m); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := fc.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("fault: instrumented circuit invalid: %w", err)
+	}
+	fin := make(map[string]signal.Signal, len(inputs))
+	for name, sig := range inputs {
+		fin[name] = sig
+	}
+	return fc, fin, nil
+}

@@ -1,0 +1,259 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/gate"
+	"involution/internal/signal"
+)
+
+// SET is a single-event transient: the value on the target edge is inverted
+// during [At, At+Width) — the radiation-strike glitch of the SPF story in
+// reverse. Implemented as an XOR overlay, so source transitions inside the
+// window still pass (inverted), as on a real struck wire. When Jitter > 0
+// the strike time is drawn uniformly from [At, At+Jitter) using the
+// scenario rng.
+type SET struct {
+	At     float64
+	Width  float64
+	Jitter float64
+}
+
+// String names the model with its parameters.
+func (f SET) String() string {
+	if f.Jitter > 0 {
+		return fmt.Sprintf("set(t=%g±%g,w=%g)", f.At, f.Jitter, f.Width)
+	}
+	return fmt.Sprintf("set(t=%g,w=%g)", f.At, f.Width)
+}
+
+// AppliesTo reports true: a transient can strike any edge.
+func (f SET) AppliesTo(Site) bool { return true }
+
+// Instrument injects the transient at the site.
+func (f SET) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, rng *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	if !(f.At >= 0) || math.IsInf(f.At, 0) {
+		return nil, nil, fmt.Errorf("fault: %s: strike time must be finite and ≥ 0", f)
+	}
+	if !(f.Width > 0) || math.IsInf(f.Width, 0) {
+		return nil, nil, fmt.Errorf("fault: %s: width must be finite and > 0", f)
+	}
+	at := f.At
+	if f.Jitter > 0 {
+		at += f.Jitter * rng.Float64()
+	}
+	ctl, err := signal.Pulse(at, f.Width)
+	if err != nil {
+		return nil, nil, err
+	}
+	return overlay(c, s, inputs, gate.Xor(2), ctl)
+}
+
+// StuckAt forces the target edge to the value V from time From on —
+// permanent node damage. Implemented as an OR overlay (stuck-at-1) or an
+// AND overlay (stuck-at-0).
+type StuckAt struct {
+	V    signal.Value
+	From float64
+}
+
+// String names the model with its parameters.
+func (f StuckAt) String() string { return fmt.Sprintf("stuck-at-%v(t=%g)", f.V, f.From) }
+
+// AppliesTo reports true: any edge can be stuck.
+func (f StuckAt) AppliesTo(Site) bool { return true }
+
+// Instrument injects the stuck-at fault at the site.
+func (f StuckAt) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, _ *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	if !(f.From >= 0) || math.IsInf(f.From, 0) {
+		return nil, nil, fmt.Errorf("fault: %s: onset time must be finite and ≥ 0", f)
+	}
+	fn := gate.Or(2)
+	ctlInit, ctlOn := signal.Low, signal.High
+	if f.V == signal.Low {
+		fn = gate.And(2)
+		ctlInit, ctlOn = signal.High, signal.Low
+	}
+	ctl, err := signal.New(ctlInit, signal.Transition{At: f.From, To: ctlOn})
+	if err != nil {
+		return nil, nil, err
+	}
+	return overlay(c, s, inputs, fn, ctl)
+}
+
+// wrapModel adapts a fault wrapper around an inner channel model. Wrapper
+// faults exist only in online form; Apply reports an error.
+type wrapModel struct {
+	inner channel.Model
+	name  string
+	mk    func(inner channel.Instance) channel.Instance
+}
+
+func (w *wrapModel) Apply(signal.Signal) (signal.Signal, error) {
+	return signal.Signal{}, fmt.Errorf("fault: %s has no offline channel function", w)
+}
+
+func (w *wrapModel) String() string { return fmt.Sprintf("%s[%s]", w.name, w.inner) }
+
+func (w *wrapModel) NewInstance() channel.Instance { return w.mk(w.inner.NewInstance()) }
+
+// DelayPushout adds DUp to every rising and DDown to every falling delivery
+// time of the target channel. Unlike η-noise it is not bounded by
+// constraint (C), so it can reorder transitions; a run that trips the
+// simulator's scheduling guards as a result is classified as aborted.
+type DelayPushout struct {
+	DUp   float64
+	DDown float64
+}
+
+// String names the model with its parameters.
+func (f DelayPushout) String() string { return fmt.Sprintf("pushout(up=%g,down=%g)", f.DUp, f.DDown) }
+
+// AppliesTo requires a channel-bearing edge.
+func (f DelayPushout) AppliesTo(s Site) bool { return s.Channel }
+
+// Instrument wraps the site's channel model.
+func (f DelayPushout) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, _ *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	if !(f.DUp >= 0) || !(f.DDown >= 0) || math.IsInf(f.DUp, 0) || math.IsInf(f.DDown, 0) {
+		return nil, nil, fmt.Errorf("fault: %s: pushouts must be finite and ≥ 0", f)
+	}
+	return rewrap(c, s, inputs, func(inner channel.Model) channel.Model {
+		return &wrapModel{inner: inner, name: f.String(), mk: func(in channel.Instance) channel.Instance {
+			return &pushoutInstance{inner: in, dUp: f.DUp, dDown: f.DDown}
+		}}
+	})
+}
+
+type pushoutInstance struct {
+	inner      channel.Instance
+	dUp, dDown float64
+}
+
+func (p *pushoutInstance) Input(t float64, to signal.Value) channel.Action {
+	act := p.inner.Input(t, to)
+	if act.Schedule {
+		if act.To == signal.High {
+			act.At += p.dUp
+		} else {
+			act.At += p.dDown
+		}
+	}
+	return act
+}
+
+// Drop swallows Count output transitions of the target channel, starting
+// with the first delivery scheduled at or after time From — a transmission
+// fault. Dropped deliveries leave the downstream value unchanged; the
+// wrapper keeps the inner channel's cancellation bookkeeping consistent by
+// mirroring its pending-output list.
+type Drop struct {
+	From  float64
+	Count int
+}
+
+// String names the model with its parameters.
+func (f Drop) String() string { return fmt.Sprintf("drop(from=%g,n=%d)", f.From, f.Count) }
+
+// AppliesTo requires a channel-bearing edge.
+func (f Drop) AppliesTo(s Site) bool { return s.Channel }
+
+// Instrument wraps the site's channel model.
+func (f Drop) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, _ *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	if f.Count <= 0 {
+		return nil, nil, fmt.Errorf("fault: %s: count must be > 0", f)
+	}
+	if !(f.From >= 0) || math.IsInf(f.From, 0) {
+		return nil, nil, fmt.Errorf("fault: %s: onset time must be finite and ≥ 0", f)
+	}
+	return rewrap(c, s, inputs, func(inner channel.Model) channel.Model {
+		return &wrapModel{inner: inner, name: f.String(), mk: func(in channel.Instance) channel.Instance {
+			return &dropInstance{inner: in, from: f.From, left: f.Count}
+		}}
+	})
+}
+
+// dropInstance mirrors the inner instance's pending-output list so that a
+// Cancel aimed at a delivery this wrapper swallowed is swallowed too
+// (the simulator never saw the corresponding Schedule).
+type dropInstance struct {
+	inner   channel.Instance
+	from    float64
+	left    int
+	pending []droppedMark
+}
+
+type droppedMark struct {
+	at      float64
+	dropped bool
+}
+
+func (d *dropInstance) Input(t float64, to signal.Value) channel.Action {
+	// Retire fired entries with the same rule the inner instance uses.
+	for len(d.pending) > 0 && d.pending[0].at <= t {
+		d.pending = d.pending[1:]
+	}
+	act := d.inner.Input(t, to)
+	if act.Cancel {
+		if n := len(d.pending); n > 0 {
+			if d.pending[n-1].dropped {
+				act.Cancel = false
+			}
+			d.pending = d.pending[:n-1]
+		}
+	}
+	if act.Schedule {
+		drop := d.left > 0 && act.At >= d.from
+		if drop {
+			d.left--
+			act.Schedule = false
+		}
+		d.pending = append(d.pending, droppedMark{at: act.At, dropped: drop})
+	}
+	return act
+}
+
+// Dup duplicates every output transition of the target channel: each
+// delivery is echoed by a glitch to the opposite value and back, Gap after
+// the primary and Width long — a doubled-edge fault.
+type Dup struct {
+	Gap   float64
+	Width float64
+}
+
+// String names the model with its parameters.
+func (f Dup) String() string { return fmt.Sprintf("dup(gap=%g,w=%g)", f.Gap, f.Width) }
+
+// AppliesTo requires a channel-bearing edge.
+func (f Dup) AppliesTo(s Site) bool { return s.Channel }
+
+// Instrument wraps the site's channel model.
+func (f Dup) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, _ *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	if !(f.Gap > 0) || !(f.Width > 0) || math.IsInf(f.Gap, 0) || math.IsInf(f.Width, 0) {
+		return nil, nil, fmt.Errorf("fault: %s: gap and width must be finite and > 0", f)
+	}
+	return rewrap(c, s, inputs, func(inner channel.Model) channel.Model {
+		return &wrapModel{inner: inner, name: f.String(), mk: func(in channel.Instance) channel.Instance {
+			return &dupInstance{inner: in, gap: f.Gap, width: f.Width}
+		}}
+	})
+}
+
+type dupInstance struct {
+	inner      channel.Instance
+	gap, width float64
+}
+
+func (d *dupInstance) Input(t float64, to signal.Value) channel.Action {
+	act := d.inner.Input(t, to)
+	if act.Schedule {
+		act.Extra = append(act.Extra,
+			signal.Transition{At: act.At + d.gap, To: act.To.Not()},
+			signal.Transition{At: act.At + d.gap + d.width, To: act.To},
+		)
+	}
+	return act
+}

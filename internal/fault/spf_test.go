@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"involution/internal/adversary"
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/signal"
+	"involution/internal/spf"
+)
+
+// referenceSystem builds the SPF system over the reference η-involution
+// loop channel of the experiments (exp delay, η⁺=0.04, η⁻=0.03).
+func referenceSystem(t *testing.T) *spf.System {
+	t.Helper()
+	pair, err := delay.Exp(delay.ExpParams{Tau: 1, TP: 0.5, Vth: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := core.New(pair, adversary.Eta{Plus: 0.04, Minus: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestShortSETIsFilteredUnderEveryAdversary ties fault injection back to
+// Theorem 12: a transient narrower than the certain-cancel bound of Lemma 4
+// struck onto the quiet SPF input dies out in the loop under EVERY
+// adversary, and the high-threshold buffer keeps the output at zero — the
+// campaign classifies the strike as filtered, never propagated or latched.
+func TestShortSETIsFilteredUnderEveryAdversary(t *testing.T) {
+	sys := referenceSystem(t)
+	cb := sys.Analysis.CancelBound
+	site := Site{From: spf.NodeIn, To: spf.NodeOr, Pin: 0}
+	rng := rand.New(rand.NewSource(99))
+	advs := []struct {
+		name string
+		mk   func() adversary.Strategy
+	}{
+		{"zero", nil},
+		{"worst", func() adversary.Strategy { return adversary.MinUpTime{} }},
+		{"maxup", func() adversary.Strategy { return adversary.MaxUpTime{} }},
+		{"uniform", func() adversary.Strategy { return adversary.Uniform{Rng: rng} }},
+	}
+	widths := []float64{0.3 * cb, 0.6 * cb, 0.9 * cb}
+	for _, adv := range advs {
+		c, err := sys.Build(adv.mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp := &Campaign{
+			Circuit: c,
+			Inputs:  map[string]signal.Signal{spf.NodeIn: signal.Zero()},
+			Horizon: 1200,
+			Seed:    7,
+		}
+		var scs []Scenario
+		for i, w := range widths {
+			scs = append(scs, Scenario{ID: i, Site: site, Model: SET{At: 5, Width: w}})
+		}
+		rep, err := camp.Run(scs)
+		if err != nil {
+			t.Fatalf("%s: %v", adv.name, err)
+		}
+		for _, row := range rep.Rows {
+			if row.Outcome != Filtered.String() {
+				t.Errorf("%s %s: outcome %s, want filtered", adv.name, row.Model, row.Outcome)
+			}
+		}
+	}
+}
+
+// TestSETBelowDelta0TildeFilteredUnderWorstCase extends the property up to
+// Δ̃₀ for the worst-case shrinking adversary: Δ̃₀ is exactly the Lemma 8
+// threshold of that trajectory, so strikes below it (even in the metastable
+// band above the certain-cancel bound) die out and stay filtered. Above the
+// certain-cancel bound a pulse-GROWING adversary may legitimately latch the
+// loop — that is the Theorem 9 metastable freedom, not a filtering failure —
+// so only the shrinking trajectory is pinned here.
+func TestSETBelowDelta0TildeFilteredUnderWorstCase(t *testing.T) {
+	sys := referenceSystem(t)
+	a := sys.Analysis
+	if !(a.CancelBound < a.Delta0Tilde) {
+		t.Fatalf("bounds out of order: cancel=%g Δ̃₀=%g", a.CancelBound, a.Delta0Tilde)
+	}
+	c, err := sys.Build(func() adversary.Strategy { return adversary.MinUpTime{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := &Campaign{
+		Circuit: c,
+		Inputs:  map[string]signal.Signal{spf.NodeIn: signal.Zero()},
+		Horizon: 1200,
+		Seed:    7,
+	}
+	site := Site{From: spf.NodeIn, To: spf.NodeOr, Pin: 0}
+	widths := []float64{
+		0.5 * a.Delta0Tilde,
+		0.5 * (a.CancelBound + a.Delta0Tilde), // inside the metastable band
+		0.9 * a.Delta0Tilde,
+	}
+	var scs []Scenario
+	for i, w := range widths {
+		scs = append(scs, Scenario{ID: i, Site: site, Model: SET{At: 5, Width: w}})
+	}
+	rep, err := camp.Run(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if row.Outcome != Filtered.String() {
+			t.Errorf("%s: outcome %s, want filtered", row.Model, row.Outcome)
+		}
+	}
+}
+
+// TestSETWiderThanLockBoundLatches is the converse sanity check: a strike
+// clearly above the lock bound locks the loop high and the buffered output
+// latches to one.
+func TestSETWiderThanLockBoundLatches(t *testing.T) {
+	sys := referenceSystem(t)
+	c, err := sys.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := &Campaign{
+		Circuit: c,
+		Inputs:  map[string]signal.Signal{spf.NodeIn: signal.Zero()},
+		Horizon: 1200,
+		Seed:    7,
+	}
+	w := 2 * sys.Analysis.LockBound
+	rep, err := camp.Run([]Scenario{{ID: 0, Site: Site{From: spf.NodeIn, To: spf.NodeOr, Pin: 0}, Model: SET{At: 5, Width: w}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows[0].Outcome != Latched.String() {
+		t.Fatalf("outcome %s, want latched", rep.Rows[0].Outcome)
+	}
+}
+
+// TestSPFCampaignCountsDeterministic pins the acceptance criterion: outcome
+// counts over an SPF grid with a randomized adversary are identical between
+// two identically-seeded campaigns.
+func TestSPFCampaignCountsDeterministic(t *testing.T) {
+	sys := referenceSystem(t)
+	run := func() map[string]int {
+		rng := rand.New(rand.NewSource(3))
+		c, err := sys.Build(func() adversary.Strategy { return adversary.Uniform{Rng: rng} })
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp := &Campaign{
+			Circuit: c,
+			Inputs:  map[string]signal.Signal{spf.NodeIn: signal.Zero()},
+			Horizon: 600,
+			Seed:    11,
+		}
+		d0t := sys.Analysis.Delta0Tilde
+		models := []Model{
+			SET{At: 5, Width: 0.5 * d0t},
+			SET{At: 5, Width: 3 * sys.Analysis.LockBound, Jitter: 1},
+			StuckAt{V: signal.High, From: 10},
+		}
+		rep, err := camp.Run(Grid(Sites(c), models))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Counts
+	}
+	c1, c2 := run(), run()
+	if len(c1) != len(c2) {
+		t.Fatalf("count keys differ: %v vs %v", c1, c2)
+	}
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("count %q differs: %d vs %d", k, v, c2[k])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser's contract on arbitrary input: it returns a
+// valid circuit or an error, never panics. Seeds cover every statement kind
+// and channel model the grammar knows.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		spfNetlist,
+		"",
+		"circuit c\n",
+		"# comment only\n",
+		"circuit k\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 pure d=1\nchannel g o 0 zero\n",
+		"circuit k\ninput i\noutput o\ngate g NOT init=1\nchannel i g 0 inertial d=2 w=1\nchannel g o 0 zero\n",
+		"circuit k\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 ddm tp0=1 tau=0.5 t0=0.1\nchannel g o 0 zero\n",
+		"circuit k\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 exp tau=1 tp=0.5 vth=0.6 eta+=0.04 eta-=0.03 adversary=uniform seed=7\nchannel g o 0 zero\n",
+		"circuit k\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 blend tau=0.8 tp=0.4 vth=0.5 tau2=8 vth2=0.92 w=0.7\nchannel g o 0 zero\n",
+		"circuit k\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 exp tau=1 tp=0.5 vth=0.6 scale=2.5\nchannel g o 0 zero\n",
+		"circuit k\ngate g MAJ3 init=0\n",
+		"gate before circuit\n",
+		"channel a b notanumber zero\n",
+		"circuit k\ninput i\ngate g BUF init=2\n",
+		"circuit k\ninput i\noutput o\ngate g XOR2 init=0\nchannel i g 0 exp tau=-1 tp=0.5 vth=0.6\n",
+		"circuit \x00\ninput \xff\n",
+		"circuit k\ninput i\nchannel i i 0 pure d=1e309\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := Parse(strings.NewReader(text))
+		if err != nil {
+			if c != nil {
+				t.Fatalf("non-nil circuit alongside error %v", err)
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit with nil error")
+		}
+		// A successfully parsed circuit must satisfy its own invariants.
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parsed circuit fails validation: %v", err)
+		}
+	})
+}

@@ -74,6 +74,35 @@ func (noopObserver) EventCanceled(Event)          {}
 func (noopObserver) DeltaCycleDone(float64, int)  {}
 func (noopObserver) Annihilation(string, float64) {}
 
+// BenchmarkEventTimeValidation compares scheduling with the NaN/±Inf/
+// time-travel guard (the shipped default) against the unexported escape
+// hatch that skips it, so the ≤2 % validation budget can be verified from
+// BENCH_sim.json.
+func BenchmarkEventTimeValidation(b *testing.B) {
+	pure, err := channel.NewPure(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := bufCircuit(b, pure)
+	in, err := signal.Train(0, 0.4, 1, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]signal.Signal{"i": in}
+	for _, bc := range []struct {
+		name string
+		skip bool
+	}{{"on", false}, {"off", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(c, inputs, Options{Horizon: 2000, MaxEvents: 1 << 22, noTimeCheck: bc.skip}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkObserverOverhead compares the no-observer fast path against a
 // no-op observer on a pipe with heavy event traffic, so the ≤2 % fast-path
 // budget can be verified from BENCH_sim.json.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -158,20 +159,14 @@ func TestSimulatorRejectsInvalidCancel(t *testing.T) {
 	}
 }
 
-func TestSimulatorClampsPastDueSchedules(t *testing.T) {
-	// Defensive clamp: a rogue instance scheduling into the past gets its
-	// event clamped to just after "now" rather than corrupting the queue.
+func TestSimulatorRejectsPastDueSchedules(t *testing.T) {
+	// A rogue instance scheduling into the past used to be silently clamped
+	// to just after "now"; it is now rejected as a bad event time, since
+	// well-behaved instances clamp past-due outputs themselves.
 	c := buildCascade(t, []channel.Model{brokenModel{mode: "past-due"}})
 	in := signal.MustPulse(1, 5)
-	res, err := Run(c, map[string]signal.Signal{"i": in}, Options{Horizon: 100})
-	if err != nil {
-		t.Fatal(err)
-	}
-	o := res.Signals["o"]
-	if o.Len() != 2 {
-		t.Fatalf("output %v", o)
-	}
-	if o.Transition(0).At < 1 || o.Transition(1).At < 6 {
-		t.Fatalf("clamped transitions moved before their causes: %v", o)
+	_, err := Run(c, map[string]signal.Signal{"i": in}, Options{Horizon: 100})
+	if !errors.Is(err, ErrBadEventTime) {
+		t.Fatalf("want ErrBadEventTime, got %v", err)
 	}
 }

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel abort causes. Run wraps each of them (or an error wrapping them)
+// in an *AbortError carrying the partial RunStats, so callers can both
+// classify the abort (errors.Is) and recover the execution profile
+// (errors.As on *AbortError).
+var (
+	// ErrEventBudget reports that the run delivered more events than
+	// Options.MaxEvents allows.
+	ErrEventBudget = errors.New("sim: event budget exhausted")
+	// ErrDeadline reports that the run exceeded Options.Deadline of
+	// wall-clock time.
+	ErrDeadline = errors.New("sim: wall-clock deadline exceeded")
+	// ErrBadEventTime reports that a channel model or stimulus produced a
+	// non-finite (NaN/±Inf) or time-traveling (before the current
+	// simulation time) event time. Without this guard a NaN delivery time
+	// silently corrupts the event-queue heap order.
+	ErrBadEventTime = errors.New("sim: bad event time")
+)
+
+// EventTimeError is the typed form of an ErrBadEventTime abort: it pins the
+// offending scheduled time to the node and channel that produced it.
+// errors.Is(err, ErrBadEventTime) matches it.
+type EventTimeError struct {
+	// At is the offending scheduled delivery time (NaN, ±Inf, or < Now).
+	At float64
+	// Now is the simulation time at which the event was scheduled.
+	Now float64
+	// Node is the destination node of the rejected event.
+	Node string
+	// Channel labels the producing channel ("from→to/pin"; empty for
+	// input-port stimuli).
+	Channel string
+}
+
+// Error describes the rejected event.
+func (e *EventTimeError) Error() string {
+	src := "stimulus"
+	if e.Channel != "" {
+		src = "channel " + e.Channel
+	}
+	return fmt.Sprintf("%v: %s scheduled t=%g for node %q at now=%g", ErrBadEventTime, src, e.At, e.Node, e.Now)
+}
+
+// Unwrap ties the error to the ErrBadEventTime sentinel.
+func (e *EventTimeError) Unwrap() error { return ErrBadEventTime }
+
+// PanicError is a panic recovered during a run (a gate function, channel
+// model or adversary strategy panicked). The run is converted into an
+// AbortError so a single bad scenario cannot kill a many-run campaign.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the recovery point.
+	Stack string
+}
+
+// Error reports the panic value.
+func (e *PanicError) Error() string { return fmt.Sprintf("sim: panic during run: %v", e.Value) }
+
+// Abort classes returned by (*AbortError).Class, used by the CLIs for exit
+// codes and by the fault-campaign runner for outcome accounting.
+const (
+	ClassBudget      = "budget"
+	ClassDeadline    = "deadline"
+	ClassPanic       = "panic"
+	ClassBadTime     = "bad-time"
+	ClassWatch       = "watch"
+	ClassOscillation = "oscillation"
+	ClassOther       = "other"
+)
+
+// Class categorizes the abort cause into one of the Class* labels.
+func (e *AbortError) Class() string {
+	var pe *PanicError
+	var we *WatchError
+	switch {
+	case errors.Is(e.Err, ErrEventBudget):
+		return ClassBudget
+	case errors.Is(e.Err, ErrDeadline):
+		return ClassDeadline
+	case errors.Is(e.Err, ErrBadEventTime):
+		return ClassBadTime
+	case errors.As(e.Err, &pe):
+		return ClassPanic
+	case errors.As(e.Err, &we):
+		return ClassWatch
+	case errors.Is(e.Err, errOscillation):
+		return ClassOscillation
+	}
+	return ClassOther
+}
+
+// errOscillation tags zero-delay oscillation aborts for classification.
+var errOscillation = errors.New("sim: zero-delay oscillation")

@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"time"
 
 	"involution/internal/channel"
@@ -30,6 +31,11 @@ type Options struct {
 	// MaxDeltas caps zero-delay propagation rounds within one timestamp
 	// (default 10000).
 	MaxDeltas int
+	// Deadline bounds the wall-clock time of the run. When positive and
+	// exceeded, the run aborts with ErrDeadline wrapped in an AbortError
+	// carrying the partial statistics — graceful degradation instead of a
+	// runaway simulation. Zero disables the deadline.
+	Deadline time.Duration
 	// Watch holds online monitors: for each named node, the monitor is
 	// invoked on every recorded transition of that node; a non-nil return
 	// aborts the run immediately with a WatchError. Monitors enable
@@ -41,6 +47,11 @@ type Options struct {
 	// and every annihilated zero-width pulse. Leave nil for the fast path:
 	// no hook dispatch is performed, only the RunStats counters.
 	Observer Observer
+
+	// noTimeCheck disables the scheduling-time validation (NaN/±Inf and
+	// time-travel rejection). Only the validation-cost benchmark sets it;
+	// it is deliberately not exported.
+	noTimeCheck bool
 }
 
 // Monitor observes one node's transitions during simulation.
@@ -145,14 +156,31 @@ type edgeState struct {
 
 // Run simulates the circuit with the given input-port signals up to the
 // horizon and returns the recorded signals of every node.
-func Run(c *circuit.Circuit, inputs map[string]signal.Signal, opts Options) (*Result, error) {
+//
+// A panic raised while simulating (by a gate function, channel model or
+// adversary strategy) is recovered and returned as a *PanicError wrapped in
+// an *AbortError with the partial statistics, so one bad scenario cannot
+// kill a many-run campaign.
+func Run(c *circuit.Circuit, inputs map[string]signal.Signal, opts Options) (res *Result, err error) {
 	if err := opts.setDefaults(); err != nil {
 		return nil, err
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := newSimulation(c, inputs, opts)
+	var s *simulation
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Value: r, Stack: string(debug.Stack())}
+			res = nil
+			if s != nil {
+				err = s.abort(pe)
+			} else {
+				err = &AbortError{Err: pe}
+			}
+		}
+	}()
+	s, err = newSimulation(c, inputs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +206,7 @@ type simulation struct {
 }
 
 func newSimulation(c *circuit.Circuit, inputs map[string]signal.Signal, opts Options) (*simulation, error) {
-	s := &simulation{c: c, opts: opts, obs: opts.Observer, nodes: make(map[string]*nodeState)}
+	s := &simulation{c: c, opts: opts, obs: opts.Observer, nodes: make(map[string]*nodeState), start: time.Now()}
 
 	// Per-node state with initial values: input ports take the stimulus
 	// initial value, gates their declared initial output.
@@ -242,7 +270,9 @@ func newSimulation(c *circuit.Circuit, inputs map[string]signal.Signal, opts Opt
 		in := inputs[name]
 		for i := 0; i < in.Len(); i++ {
 			tr := in.Transition(i)
-			s.push(&event{at: tr.At, to: tr.To, edge: -1, node: name})
+			if err := s.push(&event{at: tr.At, to: tr.To, edge: -1, node: name}); err != nil {
+				return nil, s.abort(err)
+			}
 			if s.obs != nil {
 				s.obs.EventScheduled(Event{Now: 0, At: tr.At, To: tr.To, Node: name})
 			}
@@ -251,7 +281,17 @@ func newSimulation(c *circuit.Circuit, inputs map[string]signal.Signal, opts Opt
 	return s, nil
 }
 
-func (s *simulation) push(e *event) {
+func (s *simulation) push(e *event) error {
+	// Reject non-finite and time-traveling delivery times before they can
+	// corrupt the heap order (a NaN compares false against everything, so
+	// it would silently break the queue invariant).
+	if !s.opts.noTimeCheck && (math.IsNaN(e.at) || math.IsInf(e.at, 0) || e.at < s.now) {
+		te := &EventTimeError{At: e.at, Now: s.now, Node: e.node}
+		if e.edge >= 0 {
+			te.Channel = s.edgeLabel(e.edge)
+		}
+		return te
+	}
 	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.queue, e)
@@ -259,6 +299,7 @@ func (s *simulation) push(e *event) {
 	if n := len(s.queue); n > s.stats.QueueHighWater {
 		s.stats.QueueHighWater = n
 	}
+	return nil
 }
 
 // edgeLabel returns the "from→to/pin" channel label for edge i, cached
@@ -296,7 +337,6 @@ func (s *simulation) abort(err error) error {
 }
 
 func (s *simulation) run() (*Result, error) {
-	s.start = time.Now()
 	// Time-0 evaluation: gate outputs switch from their declared initial
 	// value to the Boolean function of their (initial) inputs.
 	if err := s.deltaCycle(0, nil); err != nil {
@@ -336,7 +376,10 @@ func (s *simulation) run() (*Result, error) {
 			}
 		}
 		if s.count > s.opts.MaxEvents {
-			return nil, s.abort(fmt.Errorf("sim: event budget %d exhausted at t=%g", s.opts.MaxEvents, t))
+			return nil, s.abort(fmt.Errorf("%w: budget %d at t=%g", ErrEventBudget, s.opts.MaxEvents, t))
+		}
+		if s.opts.Deadline > 0 && time.Since(s.start) > s.opts.Deadline {
+			return nil, s.abort(fmt.Errorf("%w: %v elapsed at t=%g after %d events", ErrDeadline, s.opts.Deadline, t, s.count))
 		}
 		if err := s.deltaCycle(t, batch); err != nil {
 			return nil, s.abort(err)
@@ -436,7 +479,7 @@ func (s *simulation) deltaRun(t float64, batch []*event) (int, error) {
 
 	for round := 0; ; round++ {
 		if round > s.opts.MaxDeltas {
-			return round, fmt.Errorf("sim: zero-delay oscillation at t=%g", t)
+			return round, fmt.Errorf("%w at t=%g", errOscillation, t)
 		}
 		// Evaluate touched gates and output ports.
 		for name := range touched {
@@ -492,16 +535,28 @@ func (s *simulation) deltaRun(t float64, batch []*event) (int, error) {
 					}
 				}
 				if act.Schedule {
+					// No defensive clamp here: well-behaved instances clamp
+					// past-due outputs themselves (the documented online
+					// divergence), so a past/non-finite time is a bug in the
+					// producing model and push rejects it as ErrBadEventTime.
 					at := act.At
-					if at <= t {
-						// Defensive clamp; instances already clamp.
-						at = math.Nextafter(t, math.Inf(1))
-					}
 					ev := &event{at: at, to: act.To, edge: idx, node: edge.To, pin: edge.Pin}
+					if err := s.push(ev); err != nil {
+						return round + 1, err
+					}
 					es.pending = append(es.pending, ev)
-					s.push(ev)
 					if s.obs != nil {
 						s.obs.EventScheduled(Event{Now: t, At: at, To: act.To, Node: edge.To, Channel: s.edgeLabel(idx)})
+					}
+				}
+				for _, ex := range act.Extra {
+					ev := &event{at: ex.At, to: ex.To, edge: idx, node: edge.To, pin: edge.Pin}
+					if err := s.push(ev); err != nil {
+						return round + 1, err
+					}
+					es.pending = append(es.pending, ev)
+					if s.obs != nil {
+						s.obs.EventScheduled(Event{Now: t, At: ex.At, To: ex.To, Node: edge.To, Channel: s.edgeLabel(idx)})
 					}
 				}
 			}
