@@ -1,0 +1,96 @@
+// Campaign execution-engine benchmark: the Fig. 5 SPF fault grid swept on
+// 1/2/4/8 workers, with the serial-versus-parallel report identity asserted
+// on every sub-run (the engine's determinism contract is part of what is
+// being measured — a fast but reordered campaign would be worthless).
+package involution_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"involution/internal/core"
+	"involution/internal/delay"
+	"involution/internal/experiments"
+	"involution/internal/fault"
+	"involution/internal/signal"
+	"involution/internal/spf"
+)
+
+// spfCampaign builds the Fig. 5 campaign benchmarked by
+// BenchmarkCampaignParallel: the reference η-involution loop under the zero
+// adversary with a SET/stuck-at/wrapper grid sized from the loop analysis.
+func spfCampaign(b *testing.B) (*fault.Campaign, []fault.Scenario) {
+	b.Helper()
+	loop, err := core.New(delay.MustExp(experiments.ReferenceExp), experiments.ReferenceEta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := sys.Build(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := sys.Analysis
+	horizon := 600.0
+	var models []fault.Model
+	for _, frac := range []float64{0.05, 0.25, 0.5, 0.8} {
+		for _, w := range []float64{0.9 * a.CancelBound, 0.5 * (a.CancelBound + a.Delta0Tilde), 2 * a.LockBound} {
+			models = append(models, fault.SET{At: frac * horizon, Width: w})
+		}
+	}
+	for _, v := range []signal.Value{signal.High, signal.Low} {
+		models = append(models, fault.StuckAt{V: v, From: 0.25 * horizon})
+	}
+	models = append(models,
+		fault.DelayPushout{DUp: 0.01 * horizon, DDown: 0.01 * horizon},
+		fault.Drop{From: 0, Count: 1},
+		fault.Dup{Gap: 0.02 * horizon, Width: 0.01 * horizon},
+	)
+	camp := &fault.Campaign{
+		Circuit: c,
+		Inputs:  map[string]signal.Signal{spf.NodeIn: signal.MustPulse(0, a.Delta0Tilde+1e-3)},
+		Horizon: horizon,
+		Seed:    1,
+	}
+	return camp, fault.Grid(fault.Sites(c), models)
+}
+
+// BenchmarkCampaignParallel measures campaign throughput against worker
+// count and asserts that every parallel report is byte-identical to the
+// serial reference.
+func BenchmarkCampaignParallel(b *testing.B) {
+	camp, scenarios := spfCampaign(b)
+	ref, err := camp.Run(scenarios)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var refCSV bytes.Buffer
+	if err := ref.WriteCSV(&refCSV); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := &fault.Engine{Campaign: camp, Opts: fault.Options{Workers: workers}}
+			for i := 0; i < b.N; i++ {
+				rep, err := eng.Run(context.Background(), scenarios)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var csv bytes.Buffer
+				if err := rep.WriteCSV(&csv); err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(csv.Bytes(), refCSV.Bytes()) {
+					b.Fatalf("workers=%d report differs from serial reference", workers)
+				}
+			}
+			b.ReportMetric(float64(len(scenarios)), "scenarios")
+		})
+	}
+}

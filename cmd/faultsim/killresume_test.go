@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// chainNetlist is a 3-buffer pipeline; driven with a long pulse train it
+// yields a campaign slow enough (~seconds) to kill mid-flight.
+const chainNetlist = `circuit chain
+input i
+output o
+gate b1 BUF init=0
+gate b2 BUF init=0
+gate b3 BUF init=0
+channel i b1 0 pure d=1
+channel b1 b2 0 pure d=1
+channel b2 b3 0 pure d=1
+channel b3 o 0 zero
+`
+
+// pulseTrain renders "0 r@1 f@2 r@4 f@5 …": n pulses of width 1, period 3.
+func pulseTrain(n int) string {
+	var b strings.Builder
+	b.WriteString("0")
+	t := 1.0
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " r@%g f@%g", t, t+1)
+		t += 3
+	}
+	return b.String()
+}
+
+// buildFaultsim compiles this command into dir and returns the binary path.
+func buildFaultsim(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "faultsim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestKillAndResume SIGKILLs a checkpointed campaign mid-run and verifies
+// the resumed run reproduces the uninterrupted report byte for byte.
+func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real process")
+	}
+	dir := t.TempDir()
+	bin := buildFaultsim(t, dir)
+	net := filepath.Join(dir, "chain.net")
+	if err := os.WriteFile(net, []byte(chainNetlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stim := "i=" + pulseTrain(2000)
+	const horizon = "7000"
+
+	refCSV := filepath.Join(dir, "ref.csv")
+	ref := exec.Command(bin, "-f", net, "-in", stim, "-horizon", horizon, "-workers", "2", "-csv", refCSV)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "run.ckpt")
+	victimCSV := filepath.Join(dir, "victim.csv")
+	victim := exec.Command(bin, "-f", net, "-in", stim, "-horizon", horizon, "-workers", "2",
+		"-checkpoint", ckpt, "-csv", victimCSV)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- victim.Wait() }()
+
+	// Kill as soon as the journal has a few durable rows — mid-run, with
+	// work both behind and ahead of the checkpoint.
+	killed := false
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if rows := journalRows(t, ckpt+".idx"); rows >= 3 {
+			if err := victim.Process.Signal(syscall.SIGKILL); err == nil {
+				killed = true
+			}
+			break
+		}
+		select {
+		case <-exited:
+			// Finished before we could kill it: the resume below degenerates
+			// to a pure replay, which must still be byte-identical.
+			t.Log("campaign finished before SIGKILL; resume degrades to full replay")
+		case <-time.After(2 * time.Millisecond):
+			continue
+		}
+		break
+	}
+	<-exited
+	if killed {
+		if rows := journalRows(t, ckpt+".idx"); rows >= 109 {
+			t.Log("journal complete despite SIGKILL; resume degrades to full replay")
+		}
+	}
+
+	resumedCSV := filepath.Join(dir, "resumed.csv")
+	resumed := exec.Command(bin, "-f", net, "-in", stim, "-horizon", horizon, "-workers", "2",
+		"-checkpoint", ckpt, "-resume", "-csv", resumedCSV)
+	if out, err := resumed.CombinedOutput(); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out)
+	}
+
+	want, err := os.ReadFile(refCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumedCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed CSV differs from uninterrupted run (killed=%v):\nwant %d bytes, got %d", killed, len(want), len(got))
+	}
+}
+
+// journalRows reads the durable row count from a checkpoint index, 0 if the
+// index does not exist yet.
+func journalRows(t *testing.T, idxPath string) int {
+	t.Helper()
+	data, err := os.ReadFile(idxPath)
+	if err != nil {
+		return 0
+	}
+	var idx struct {
+		Rows int `json:"rows"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(data), &idx); err != nil {
+		return 0
+	}
+	return idx.Rows
+}
+
+// TestInterruptFlushesPartialReport SIGINTs a campaign and verifies the
+// graceful drain: distinct exit code, partial CSV, stats-json marking the
+// interruption.
+func TestInterruptFlushesPartialReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a real process")
+	}
+	dir := t.TempDir()
+	bin := buildFaultsim(t, dir)
+	net := filepath.Join(dir, "chain.net")
+	if err := os.WriteFile(net, []byte(chainNetlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stim := "i=" + pulseTrain(2000)
+
+	csv := filepath.Join(dir, "part.csv")
+	statsJSON := filepath.Join(dir, "part.json")
+	cmd := exec.Command(bin, "-f", net, "-in", stim, "-horizon", "7000", "-workers", "2",
+		"-csv", csv, "-stats-json", statsJSON)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Skipf("campaign finished before SIGINT landed (err=%v)", err)
+	}
+	if code := ee.ExitCode(); code != exitInterrupted {
+		t.Fatalf("exit code %d, want %d", code, exitInterrupted)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("partial CSV not flushed: %v", err)
+	}
+	if !bytes.HasPrefix(data, []byte("id,site,model,outcome,abort,attempts")) {
+		t.Fatalf("partial CSV lacks header: %q", data[:min(len(data), 60)])
+	}
+	var report struct {
+		Aborted bool   `json:"aborted"`
+		Error   string `json:"error"`
+	}
+	stats, err := os.ReadFile(statsJSON)
+	if err != nil {
+		t.Fatalf("partial stats-json not flushed: %v", err)
+	}
+	if err := json.Unmarshal(stats, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.Aborted || !strings.Contains(report.Error, "interrupted") {
+		t.Fatalf("stats-json does not record the interruption: %+v", report)
+	}
+}

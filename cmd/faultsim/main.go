@@ -8,11 +8,21 @@
 //	faultsim                          # built-in Fig. 5 SPF, default grid
 //	faultsim -adversary maxup -csv out.csv
 //	faultsim -f design.net -in 'i=0 r@1 f@2.5' -horizon 100
+//	faultsim -workers 8 -checkpoint run.ckpt -csv out.csv
+//	faultsim -resume -checkpoint run.ckpt -csv out.csv   # after a crash
 //
 // Without -f the built-in single-pulse filter of Fig. 5 is used with the
 // reference η-involution loop channel; the default fault grid is then sized
 // from the loop analysis (SET widths spanning the cancel/metastable/lock
 // regimes). With -f the grid parameters are scaled from the horizon.
+//
+// Scenarios run concurrently on -workers simulators (default: GOMAXPROCS);
+// reports stay byte-identical to a serial run for a fixed -seed. Scenarios
+// that abort on the event budget or wall-clock deadline are retried up to
+// -max-retries times under escalating limits. With -checkpoint every
+// finished scenario is journaled (fsync'd) as it completes, and -resume
+// replays the journal and runs only the remainder — the final report is
+// byte-identical to an uninterrupted run.
 //
 // Every scenario runs under the campaign's event budget, wall-clock
 // deadline and panic isolation: a pathological fault cannot crash the
@@ -21,10 +31,14 @@
 // Reports are deterministic for a fixed -seed (byte-identical CSV/JSONL).
 //
 // Exit codes: 0 when the campaign ran (aborted scenarios are contained
-// results, not process failures), 1 on usage, I/O or baseline errors.
+// results, not process failures), 1 on usage, I/O or baseline errors, 5
+// when SIGINT/SIGTERM interrupted the campaign — partial CSV/JSONL/stats
+// artifacts are still flushed before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,7 +46,9 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	ossignal "os/signal"
 	"strings"
+	"syscall"
 
 	"involution/internal/adversary"
 	"involution/internal/circuit"
@@ -47,6 +63,10 @@ import (
 	"involution/internal/spf"
 	"involution/internal/trace"
 )
+
+// exitInterrupted mirrors netsim's canceled exit code: the campaign was cut
+// short by SIGINT/SIGTERM after flushing partial artifacts.
+const exitInterrupted = 5
 
 type stimuli map[string]signal.Signal
 
@@ -76,9 +96,24 @@ func main() {
 	jsonlPath := flag.String("jsonl", "", `write the per-scenario report as JSONL to this file ("-" = stdout)`)
 	statsJSON := flag.String("stats-json", "", `write the aggregate stats report to this file ("-" = stdout)`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /debug/vars on this address and stay alive after the run")
+	workers := flag.Int("workers", 0, "concurrent scenario simulations (0: GOMAXPROCS; reports are identical for any value)")
+	maxRetries := flag.Int("max-retries", 2, "re-runs granted per scenario aborting on budget/deadline, under escalating limits")
+	checkpoint := flag.String("checkpoint", "", "journal completed scenarios to this file (crash-safe, fsync'd)")
+	resume := flag.Bool("resume", false, "replay the -checkpoint journal and run only the remaining scenarios")
 	in := stimuli{}
 	flag.Var(in, "in", "input stimulus, e.g. 'i=0 r@1 f@2.5' (repeatable; default: constant zero)")
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+
+	// SIGINT/SIGTERM drains the campaign gracefully: in-flight scenarios
+	// stop at their next event, finished rows are kept (and journaled), the
+	// partial report artifacts are flushed, and the process exits with
+	// exitInterrupted.
+	ctx, stop := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var reg *obs.Registry
 	if *pprofAddr != "" {
@@ -148,9 +183,21 @@ func main() {
 	fmt.Printf("campaign grid: %d scenarios (%d sites × %d models, inapplicable pairs skipped), seed %d\n",
 		len(scenarios), len(fault.Sites(c)), len(models), *seed)
 
-	rep, err := camp.Run(scenarios)
-	if err != nil {
+	eng := &fault.Engine{Campaign: camp, Opts: fault.Options{
+		Workers:    *workers,
+		MaxRetries: *maxRetries,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		Registry:   reg,
+	}}
+	rep, err := eng.Run(ctx, scenarios)
+	interrupted := errors.Is(err, fault.ErrInterrupted)
+	if err != nil && !interrupted {
 		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "faultsim: %v — flushing partial report (%d/%d scenarios)\n",
+			err, len(rep.Rows), len(scenarios))
 	}
 	fmt.Print(rep.Format())
 
@@ -180,6 +227,10 @@ func main() {
 		if report.Aborted {
 			report.Error = fmt.Sprintf("%d of %d scenarios aborted", rep.Counts[fault.Aborted.String()], len(rep.Rows))
 		}
+		if interrupted {
+			report.Aborted = true
+			report.Error = fmt.Sprintf("campaign interrupted after %d/%d scenarios", len(rep.Rows), len(scenarios))
+		}
 		out := os.Stdout
 		if *statsJSON != "-" {
 			out, err = os.Create(*statsJSON)
@@ -198,10 +249,14 @@ func main() {
 		}
 	}
 
+	if interrupted {
+		os.Exit(exitInterrupted)
+	}
 	if reg != nil {
 		rep.Register(reg)
 		trace.RegisterRunStats(reg, agg)
 		fmt.Printf("campaign finished; profiling server still on %s — interrupt to exit\n", *pprofAddr)
+		stop() // a second Ctrl-C should kill the keepalive outright
 		select {}
 	}
 }
@@ -235,8 +290,12 @@ func buildSPF(adv string, seed int64) (*circuit.Circuit, *spf.System, error) {
 	case "maxup":
 		mk = func() adversary.Strategy { return adversary.MaxUpTime{} }
 	case "uniform":
-		rng := rand.New(rand.NewSource(seed))
-		mk = func() adversary.Strategy { return adversary.Uniform{Rng: rng} }
+		// Each strategy instance gets its own identically-seeded rng: channel
+		// instances are created per simulation run, so a shared stream would
+		// race under parallel campaign workers and break report determinism.
+		mk = func() adversary.Strategy {
+			return adversary.Uniform{Rng: rand.New(rand.NewSource(seed))}
+		}
 	default:
 		return nil, nil, fmt.Errorf("unknown adversary %q (want zero|worst|maxup|uniform)", adv)
 	}

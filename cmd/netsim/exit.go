@@ -11,15 +11,18 @@ const (
 	exitBudget   = 2 // event budget exhausted (and other mid-run aborts)
 	exitDeadline = 3 // wall-clock deadline exceeded
 	exitPanic    = 4 // panic recovered inside the run
+	exitCanceled = 5 // run canceled by SIGINT/SIGTERM
 )
 
 // abortExit maps a sim abort class to the process exit code.
-func abortExit(class string) int {
+func abortExit(class sim.Class) int {
 	switch class {
 	case sim.ClassDeadline:
 		return exitDeadline
 	case sim.ClassPanic:
 		return exitPanic
+	case sim.ClassCanceled:
+		return exitCanceled
 	default:
 		// Budget, watch, oscillation, bad event times and unclassified
 		// aborts share the generic mid-run abort code.

@@ -8,17 +8,18 @@ import (
 
 func TestAbortExitMapping(t *testing.T) {
 	cases := []struct {
-		class string
+		class sim.Class
 		want  int
 	}{
 		{sim.ClassBudget, exitBudget},
 		{sim.ClassDeadline, exitDeadline},
 		{sim.ClassPanic, exitPanic},
+		{sim.ClassCanceled, exitCanceled},
 		{sim.ClassBadTime, exitBudget},
 		{sim.ClassWatch, exitBudget},
 		{sim.ClassOscillation, exitBudget},
 		{sim.ClassOther, exitBudget},
-		{"some-future-class", exitBudget},
+		{sim.Class("some-future-class"), exitBudget},
 	}
 	for _, c := range cases {
 		if got := abortExit(c.class); got != c.want {

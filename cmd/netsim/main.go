@@ -17,19 +17,23 @@
 // Exit codes: 0 on success, 1 on usage or I/O errors; mid-run aborts get a
 // distinct code per cause — 2 for the event budget (and other generic
 // aborts such as failed watch conditions), 3 for the -deadline wall-clock
-// limit, 4 for a panic recovered inside the run. Stats are still emitted
-// for aborted runs, with partial counts.
+// limit, 4 for a panic recovered inside the run, 5 when SIGINT/SIGTERM
+// canceled the run. Stats are still emitted for aborted runs, with partial
+// counts: Ctrl-C drains gracefully and still flushes -stats-json.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	ossignal "os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"involution/internal/netlist"
 	"involution/internal/obs"
@@ -82,13 +86,20 @@ Exit codes:
   %d  run aborted: event budget exhausted (or other mid-run abort)
   %d  run aborted: wall-clock deadline exceeded
   %d  run aborted: panic recovered inside the simulation
-`, exitOK, exitUsage, exitBudget, exitDeadline, exitPanic)
+  %d  run canceled by SIGINT/SIGTERM
+`, exitOK, exitUsage, exitBudget, exitDeadline, exitPanic, exitCanceled)
 	}
 	flag.Parse()
 
 	if *file == "" {
 		fatal(fmt.Errorf("missing -f netlist file"))
 	}
+
+	// Ctrl-C / SIGTERM cancels the run cooperatively: the simulator aborts
+	// at its next event and every requested stats artifact is still written
+	// with the partial counts before the process exits with exitCanceled.
+	ctx, stop := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var reg *obs.Registry
 	if *pprofAddr != "" {
@@ -139,7 +150,7 @@ Exit codes:
 		}
 	}
 
-	opts := sim.Options{Horizon: *horizon, MaxEvents: *maxEvents, Deadline: *deadline}
+	opts := sim.Options{Horizon: *horizon, MaxEvents: *maxEvents, Deadline: *deadline, Context: ctx}
 	var et *trace.EventTrace
 	var traceFile *os.File
 	if *traceEvents != "" {

@@ -7,22 +7,37 @@
 //
 //	spfsim -tau 1 -tp 0.5 -vth 0.6 -eta+ 0.04 -eta- 0.03 \
 //	       -delta0 1.39 -adversary worst -horizon 500 [-vcd out.vcd]
+//
+// Exit codes: 0 on success, 1 on usage or analysis errors, 2 when the main
+// simulation aborted mid-run (budget or other), 5 when SIGINT/SIGTERM
+// canceled it. Aborted runs still flush -stats-json with partial counts.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	ossignal "os/signal"
+	"syscall"
 
 	"involution/internal/adversary"
 	"involution/internal/core"
 	"involution/internal/delay"
 	"involution/internal/obs"
+	"involution/internal/sim"
 	"involution/internal/spf"
 	"involution/internal/trace"
+)
+
+// Abort exit codes (matching netsim's mapping).
+const (
+	exitAborted  = 2
+	exitCanceled = 5
 )
 
 func main() {
@@ -43,6 +58,11 @@ func main() {
 	traceEvents := flag.String("trace-events", "", "stream a JSONL event trace of the main Δ₀ simulation to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /debug/vars on this address (e.g. :6060) and stay alive after the run")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the running simulation cooperatively; the
+	// -stats-json report is still flushed with the partial counts.
+	ctx, stop := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var reg *obs.Registry
 	if *pprofAddr != "" {
@@ -73,6 +93,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sys.Context = ctx
 	a := sys.Analysis
 	fmt.Printf("loop channel: exp(τ=%g, Tp=%g, Vth=%g), η=[−%g,+%g]\n", *tau, *tp, *vth, *etaM, *etaP)
 	fmt.Printf("analysis    : δmin=%.4f  τ̄=P=%.4f  Δ̄=%.4f  γ̄=%.4f  a=%.4f\n",
@@ -115,8 +136,26 @@ func main() {
 		sys.Observer = et
 	}
 	ob, err := sys.Observe(d0, mk, *horizon)
+	aborted := false
+	abortMsg := ""
+	exit := 0
 	if err != nil {
-		fatal(err)
+		var ab *sim.AbortError
+		if !errors.As(err, &ab) {
+			fatal(err)
+		}
+		// Aborted mid-run (canceled, budget, …): report the partial profile,
+		// still flush the stats artifacts below, and exit with the
+		// cause-specific code.
+		aborted = true
+		abortMsg = err.Error()
+		ob.Stats = ab.Stats
+		if ab.Class() == sim.ClassCanceled {
+			exit = exitCanceled
+		} else {
+			exit = exitAborted
+		}
+		fmt.Fprintf(os.Stderr, "spfsim: run aborted after %d events: %v\n", ab.Stats.Delivered, err)
 	}
 	// Detach the trace sink so the auxiliary runs below (-window,
 	// -slowinput, -vcd) don't append to the main run's event stream.
@@ -130,10 +169,12 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *traceEvents)
 	}
-	fmt.Printf("loop (OR out, %d transitions, %d pulses): %v\n", ob.Loop.Len(), ob.Pulses, clip(ob.Loop, 14))
-	fmt.Printf("output (after HT buffer): %v\n", ob.Out)
-	fmt.Printf("final loop value %v; stabilization time %.4f; max tail up-time %.4f (Δ̄=%.4f); max tail duty %.4f (γ̄=%.4f)\n",
-		ob.Resolved, ob.StabilizationTime, ob.MaxUpTail, a.DeltaBar, ob.MaxDutyTail, a.Gamma)
+	if !aborted {
+		fmt.Printf("loop (OR out, %d transitions, %d pulses): %v\n", ob.Loop.Len(), ob.Pulses, clip(ob.Loop, 14))
+		fmt.Printf("output (after HT buffer): %v\n", ob.Out)
+		fmt.Printf("final loop value %v; stabilization time %.4f; max tail up-time %.4f (Δ̄=%.4f); max tail duty %.4f (γ̄=%.4f)\n",
+			ob.Resolved, ob.StabilizationTime, ob.MaxUpTail, a.DeltaBar, ob.MaxDutyTail, a.Gamma)
+	}
 
 	if *stats {
 		fmt.Print(trace.FormatStats(ob.Stats))
@@ -143,6 +184,8 @@ func main() {
 			Circuit: "spf",
 			Horizon: *horizon,
 			Events:  ob.Stats.Delivered,
+			Aborted: aborted,
+			Error:   abortMsg,
 			Stats:   ob.Stats,
 		}
 		out := os.Stdout
@@ -164,6 +207,10 @@ func main() {
 	}
 	if reg != nil {
 		trace.RegisterRunStats(reg, ob.Stats)
+	}
+	if aborted {
+		// The auxiliary sweeps below would just re-hit the same abort.
+		os.Exit(exit)
 	}
 
 	if *window {

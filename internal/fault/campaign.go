@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -115,10 +116,15 @@ type Row struct {
 	Outcome string `json:"outcome"`
 	// Abort is the sim abort class for aborted rows ("budget", "deadline",
 	// "panic", "bad-time", …; "instrument" when injection itself failed).
-	Abort     string `json:"abort,omitempty"`
-	Scheduled int64  `json:"scheduled"`
-	Delivered int64  `json:"delivered"`
-	Canceled  int64  `json:"canceled"`
+	// For retried scenarios it is the final disposition: the class of the
+	// last attempt, or empty when a retry completed the run.
+	Abort string `json:"abort,omitempty"`
+	// Attempts counts how many times the scenario ran (1 + retries granted
+	// by the engine's adaptive retry policy; always 1 for serial runs).
+	Attempts  int   `json:"attempts"`
+	Scheduled int64 `json:"scheduled"`
+	Delivered int64 `json:"delivered"`
+	Canceled  int64 `json:"canceled"`
 }
 
 // Report is the outcome of a campaign.
@@ -136,51 +142,45 @@ type Report struct {
 // not be injected at all (invalid parameters or site).
 const AbortInstrument = "instrument"
 
-// Run executes the scenarios and classifies each against a baseline run of
-// the unmodified circuit. The baseline itself must complete; scenario
-// failures of any kind are contained in their rows.
+// Run executes the scenarios serially and classifies each against a
+// baseline run of the unmodified circuit. The baseline itself must
+// complete; scenario failures of any kind are contained in their rows.
+//
+// Run is the single-worker, no-retry reference execution; it delegates to
+// the resilient engine (see engine.go) with Workers = 1, whose reports are
+// byte-identical to any worker count for a fixed seed.
 func (c *Campaign) Run(scenarios []Scenario) (*Report, error) {
-	opts := sim.Options{Horizon: c.Horizon, MaxEvents: c.MaxEvents, Deadline: c.Deadline}
-	base, err := sim.Run(c.Circuit, c.Inputs, opts)
-	if err != nil {
-		return nil, fmt.Errorf("fault: baseline run failed: %w", err)
-	}
-	probes := c.Probes
-	if len(probes) == 0 {
-		for _, n := range c.Circuit.Nodes() {
-			if n.Kind == circuit.KindGate {
-				probes = append(probes, n.Name)
-			}
-		}
-	}
-	outputs := c.Circuit.Outputs()
-
-	rep := &Report{
-		Circuit:   c.Circuit.Name,
-		Seed:      c.Seed,
-		Horizon:   c.Horizon,
-		Scenarios: len(scenarios),
-		Counts:    make(map[string]int),
-	}
-	for _, sc := range scenarios {
-		row := c.runScenario(sc, opts, base, outputs, probes)
-		rep.Rows = append(rep.Rows, row)
-		rep.Counts[row.Outcome]++
-	}
-	return rep, nil
+	eng := &Engine{Campaign: c, Opts: Options{Workers: 1}}
+	return eng.Run(context.Background(), scenarios)
 }
 
-// runScenario executes one scenario with panic isolation: a panic anywhere
-// in instrumentation or simulation yields an aborted row, never a crash.
-func (c *Campaign) runScenario(sc Scenario, opts sim.Options, base *sim.Result, outputs, probes []string) (row Row) {
+// probeNodes resolves the campaign's probe set (all gate nodes when unset).
+func (c *Campaign) probeNodes() []string {
+	if len(c.Probes) > 0 {
+		return c.Probes
+	}
+	var probes []string
+	for _, n := range c.Circuit.Nodes() {
+		if n.Kind == circuit.KindGate {
+			probes = append(probes, n.Name)
+		}
+	}
+	return probes
+}
+
+// runScenario executes one scenario attempt with panic isolation: a panic
+// anywhere in instrumentation or simulation yields an aborted row, never a
+// crash. All scenario randomness derives from seed, so an attempt is
+// reproducible and independent of execution order.
+func (c *Campaign) runScenario(sc Scenario, seed int64, opts sim.Options, base *sim.Result, outputs, probes []string) (row Row) {
 	row = Row{ID: sc.ID, Site: sc.Site.Label(), Model: sc.Model.String()}
 	defer func() {
 		if r := recover(); r != nil {
 			row.Outcome = Aborted.String()
-			row.Abort = sim.ClassPanic
+			row.Abort = string(sim.ClassPanic)
 		}
 	}()
-	rng := rand.New(rand.NewSource(scenarioSeed(c.Seed, sc.ID)))
+	rng := rand.New(rand.NewSource(seed))
 	fc, fin, err := sc.Model.Instrument(c.Circuit, sc.Site, c.Inputs, rng)
 	if err != nil {
 		row.Outcome = Aborted.String()
@@ -192,12 +192,12 @@ func (c *Campaign) runScenario(sc Scenario, opts sim.Options, base *sim.Result, 
 		row.Outcome = Aborted.String()
 		var ab *sim.AbortError
 		if errors.As(err, &ab) {
-			row.Abort = ab.Class()
+			row.Abort = string(ab.Class())
 			row.Scheduled = ab.Stats.Scheduled
 			row.Delivered = ab.Stats.Delivered
 			row.Canceled = ab.Stats.Canceled
 		} else {
-			row.Abort = sim.ClassOther
+			row.Abort = string(sim.ClassOther)
 		}
 		return row
 	}
@@ -261,13 +261,13 @@ func sigEqual(a, b signal.Signal) bool {
 // WriteCSV emits one row per scenario. The output is deterministic for a
 // fixed seed (no wall-clock fields).
 func (r *Report) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "id,site,model,outcome,abort,scheduled,delivered,canceled"); err != nil {
+	if _, err := fmt.Fprintln(w, "id,site,model,outcome,abort,attempts,scheduled,delivered,canceled"); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		_, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%d,%d,%d,%d\n",
 			row.ID, csvEscape(row.Site), csvEscape(row.Model), row.Outcome, row.Abort,
-			row.Scheduled, row.Delivered, row.Canceled)
+			row.Attempts, row.Scheduled, row.Delivered, row.Canceled)
 		if err != nil {
 			return err
 		}
@@ -329,5 +329,17 @@ func (r *Report) Register(reg *obs.Registry) {
 	for _, o := range Outcomes {
 		reg.Counter("fault_outcome_"+o.String()+"_total",
 			"fault scenarios classified "+o.String()).Add(int64(r.Counts[o.String()]))
+	}
+	retries := reg.Counter("fault_retries_total", "scenario re-runs granted by the retry policy")
+	recovered := reg.Counter("fault_retried_recovered_total", "retried scenarios that completed on a later attempt")
+	attempts := reg.Histogram("fault_attempts", "attempts per scenario (1 + retries)", obs.LinearBuckets(1, 1, 7))
+	for _, row := range r.Rows {
+		if row.Attempts > 1 {
+			retries.Add(int64(row.Attempts - 1))
+			if row.Outcome != Aborted.String() {
+				recovered.Inc()
+			}
+		}
+		attempts.Observe(float64(row.Attempts))
 	}
 }

@@ -103,7 +103,7 @@ func TestCampaignDeterministicForFixedSeed(t *testing.T) {
 	if jsonl1 != jsonl2 {
 		t.Fatal("JSONL report differs between identically-seeded campaigns")
 	}
-	if !strings.HasPrefix(csv1, "id,site,model,outcome,abort,scheduled,delivered,canceled\n") {
+	if !strings.HasPrefix(csv1, "id,site,model,outcome,abort,attempts,scheduled,delivered,canceled\n") {
 		t.Fatalf("csv header: %q", csv1[:60])
 	}
 }

@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"involution/internal/channel"
+	"involution/internal/circuit"
+	"involution/internal/gate"
+	"involution/internal/obs"
+	"involution/internal/signal"
+	"involution/internal/sim"
+)
+
+// renderReport serializes a report both ways for byte comparison.
+func renderReport(t *testing.T, rep *Report) (string, string) {
+	t.Helper()
+	var csv, jsonl bytes.Buffer
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String(), jsonl.String()
+}
+
+func TestEngineParallelMatchesSerial(t *testing.T) {
+	camp, scs := testCampaign(t)
+	ref, err := camp.Run(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV, refJSONL := renderReport(t, ref)
+	for _, workers := range []int{2, 4, 8} {
+		eng := &Engine{Campaign: camp, Opts: Options{Workers: workers}}
+		rep, err := eng.Run(context.Background(), scs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		csv, jsonl := renderReport(t, rep)
+		if csv != refCSV {
+			t.Errorf("workers=%d: CSV differs from serial run", workers)
+		}
+		if jsonl != refJSONL {
+			t.Errorf("workers=%d: JSONL differs from serial run", workers)
+		}
+	}
+}
+
+func TestEngineRetryRecoversBudgetAborts(t *testing.T) {
+	camp, scs := testCampaign(t)
+	// Budget just above the baseline's own event count: the baseline
+	// completes, fault runs (which add control and glitch events) abort on
+	// the first attempt and recover under the escalated budget.
+	base, err := sim.Run(camp.Circuit, camp.Inputs, sim.Options{Horizon: camp.Horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.MaxEvents = base.Events + 1
+	reg := obs.NewRegistry()
+	eng := &Engine{Campaign: camp, Opts: Options{Workers: 4, MaxRetries: 10, Registry: reg}}
+	rep, err := eng.Run(context.Background(), scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counts[Aborted.String()] != 0 {
+		t.Fatalf("retry ladder left aborts: %v", rep.Counts)
+	}
+	retried := 0
+	for _, row := range rep.Rows {
+		if row.Abort != "" {
+			t.Fatalf("completed row %d still carries abort class %q", row.ID, row.Abort)
+		}
+		retried += row.Attempts - 1
+	}
+	if retried == 0 {
+		t.Fatal("no scenario needed a retry under the tight budget")
+	}
+
+	// Classification identity: a budget retry replays the same seed under a
+	// larger budget, so the outcome must match a campaign that started with
+	// a budget large enough to never abort.
+	unconstrained, grid2 := testCampaign(t)
+	unconstrained.MaxEvents = 1 << 20
+	ref, err := unconstrained.Run(grid2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rep.Rows {
+		if row.Outcome != ref.Rows[i].Outcome {
+			t.Errorf("row %d: escalated-budget outcome %q, direct-budget outcome %q",
+				row.ID, row.Outcome, ref.Rows[i].Outcome)
+		}
+	}
+
+	if got := reg.Counter("fault_engine_retries_total", "").Value(); got != int64(retried) {
+		t.Errorf("fault_engine_retries_total = %d, rows record %d retries", got, retried)
+	}
+	if got := reg.Counter("fault_engine_completed_total", "").Value(); got != int64(len(scs)) {
+		t.Errorf("fault_engine_completed_total = %d, want %d", got, len(scs))
+	}
+	if got := reg.Histogram("fault_engine_attempts", "", obs.LinearBuckets(1, 1, 7)).Count(); got != int64(len(scs)) {
+		t.Errorf("fault_engine_attempts count = %d, want %d", got, len(scs))
+	}
+}
+
+// oscModel swaps the circuit for a free-running inverter ring: an endless
+// event source that exhausts any budget the retry ladder can reach.
+type oscModel struct{}
+
+func (oscModel) String() string      { return "osc" }
+func (oscModel) AppliesTo(Site) bool { return true }
+func (oscModel) Instrument(*circuit.Circuit, Site, map[string]signal.Signal, *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	pure, err := channel.NewPure(0.01)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := circuit.New("osc")
+	for _, err := range []error{
+		c.AddOutput("o"),
+		c.AddGate("n", gate.Not(), signal.High),
+		c.Connect("n", "n", 0, pure),
+		c.Connect("n", "o", 0, nil),
+	} {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return c, nil, nil
+}
+
+func TestEngineRetryExhaustionKeepsFinalClass(t *testing.T) {
+	camp, _ := testCampaign(t)
+	base, err := sim.Run(camp.Circuit, camp.Inputs, sim.Options{Horizon: camp.Horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.MaxEvents = base.Events + 1
+	scs := []Scenario{{ID: 0, Site: Sites(camp.Circuit)[0], Model: oscModel{}}}
+	eng := &Engine{Campaign: camp, Opts: Options{Workers: 1, MaxRetries: 2}}
+	rep, err := eng.Run(context.Background(), scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rep.Rows[0]
+	if row.Outcome != Aborted.String() {
+		t.Fatalf("oscillator completed: %+v", row)
+	}
+	if row.Abort != string(sim.ClassBudget) {
+		t.Fatalf("exhausted retries with class %q, want %q", row.Abort, sim.ClassBudget)
+	}
+	if row.Attempts != 3 {
+		t.Fatalf("ran %d attempts, want 3 (1 + MaxRetries)", row.Attempts)
+	}
+}
+
+func TestEnginePanicNeverRetried(t *testing.T) {
+	camp, _ := testCampaign(t)
+	scs := []Scenario{{ID: 0, Site: Sites(camp.Circuit)[0], Model: bombModel{}}}
+	eng := &Engine{Campaign: camp, Opts: Options{Workers: 1, MaxRetries: 5}}
+	rep, err := eng.Run(context.Background(), scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rep.Rows[0]
+	if row.Outcome != Aborted.String() || row.Abort != string(sim.ClassPanic) {
+		t.Fatalf("bomb row: outcome %q abort %q", row.Outcome, row.Abort)
+	}
+	if row.Attempts != 1 {
+		t.Fatalf("panic was retried: attempts=%d", row.Attempts)
+	}
+}
+
+func TestEngineRejectsDuplicateScenarioIDs(t *testing.T) {
+	camp, scs := testCampaign(t)
+	scs[3].ID = scs[1].ID
+	eng := &Engine{Campaign: camp}
+	if _, err := eng.Run(context.Background(), scs); err == nil {
+		t.Fatal("duplicate scenario ids accepted")
+	}
+}
+
+// cancelModel cancels the campaign context when its scenario is
+// instrumented, simulating an interrupt arriving mid-campaign at a
+// deterministic point.
+type cancelModel struct {
+	Model
+	cancel context.CancelFunc
+}
+
+func (m cancelModel) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, rng *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	m.cancel()
+	return m.Model.Instrument(c, s, inputs, rng)
+}
+
+func TestEngineInterruptedReturnsPartialReport(t *testing.T) {
+	camp, scs := testCampaign(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mid := len(scs) / 2
+	scs[mid].Model = cancelModel{Model: scs[mid].Model, cancel: cancel}
+
+	eng := &Engine{Campaign: camp, Opts: Options{Workers: 1}}
+	rep, err := eng.Run(ctx, scs)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if rep == nil {
+		t.Fatal("interrupted run returned no partial report")
+	}
+	if len(rep.Rows) == 0 || len(rep.Rows) >= len(scs) {
+		t.Fatalf("partial report has %d rows of %d", len(rep.Rows), len(scs))
+	}
+	// With one worker the rows before the canceling scenario completed, in
+	// scenario order; the canceled attempt itself is excluded so a resume
+	// re-runs it.
+	for i, row := range rep.Rows {
+		if row.ID != scs[i].ID {
+			t.Fatalf("partial row %d has id %d, want %d", i, row.ID, scs[i].ID)
+		}
+		if row.ID == scs[mid].ID {
+			t.Fatalf("canceled scenario %d leaked into the report", row.ID)
+		}
+	}
+}
+
+func TestEnginePreCanceledContext(t *testing.T) {
+	camp, scs := testCampaign(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := &Engine{Campaign: camp}
+	if _, err := eng.Run(ctx, scs); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+}

@@ -21,6 +21,9 @@ var (
 	// simulation time) event time. Without this guard a NaN delivery time
 	// silently corrupts the event-queue heap order.
 	ErrBadEventTime = errors.New("sim: bad event time")
+	// ErrCanceled reports that Options.Context was canceled mid-run; the
+	// run stopped at the next event instead of running to the horizon.
+	ErrCanceled = errors.New("sim: run canceled")
 )
 
 // EventTimeError is the typed form of an ErrBadEventTime abort: it pins the
@@ -63,20 +66,25 @@ type PanicError struct {
 // Error reports the panic value.
 func (e *PanicError) Error() string { return fmt.Sprintf("sim: panic during run: %v", e.Value) }
 
-// Abort classes returned by (*AbortError).Class, used by the CLIs for exit
-// codes and by the fault-campaign runner for outcome accounting.
+// Class is a machine-readable abort category returned by
+// (*AbortError).Class, used by the CLIs for exit codes and by the
+// fault-campaign retry policy for its retry/never-retry decisions.
+type Class string
+
+// Abort classes.
 const (
-	ClassBudget      = "budget"
-	ClassDeadline    = "deadline"
-	ClassPanic       = "panic"
-	ClassBadTime     = "bad-time"
-	ClassWatch       = "watch"
-	ClassOscillation = "oscillation"
-	ClassOther       = "other"
+	ClassBudget      Class = "budget"
+	ClassDeadline    Class = "deadline"
+	ClassPanic       Class = "panic"
+	ClassBadTime     Class = "bad-time"
+	ClassWatch       Class = "watch"
+	ClassOscillation Class = "oscillation"
+	ClassCanceled    Class = "canceled"
+	ClassOther       Class = "other"
 )
 
 // Class categorizes the abort cause into one of the Class* labels.
-func (e *AbortError) Class() string {
+func (e *AbortError) Class() Class {
 	var pe *PanicError
 	var we *WatchError
 	switch {
@@ -86,6 +94,8 @@ func (e *AbortError) Class() string {
 		return ClassDeadline
 	case errors.Is(e.Err, ErrBadEventTime):
 		return ClassBadTime
+	case errors.Is(e.Err, ErrCanceled):
+		return ClassCanceled
 	case errors.As(e.Err, &pe):
 		return ClassPanic
 	case errors.As(e.Err, &we):

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -36,6 +37,12 @@ type Options struct {
 	// carrying the partial statistics — graceful degradation instead of a
 	// runaway simulation. Zero disables the deadline.
 	Deadline time.Duration
+	// Context, when non-nil, cancels the run cooperatively: cancellation
+	// is checked once per delivered event batch, so an in-flight run stops
+	// at the next event instead of running to the horizon. A canceled run
+	// aborts with ErrCanceled wrapped in an AbortError carrying the
+	// partial statistics, exactly like the budget and deadline guards.
+	Context context.Context
 	// Watch holds online monitors: for each named node, the monitor is
 	// invoked on every recorded transition of that node; a non-nil return
 	// aborts the run immediately with a WatchError. Monitors enable
@@ -86,12 +93,17 @@ func MinPulseMonitor(eps float64) Monitor {
 	}
 }
 
+// DefaultMaxEvents is the event budget applied when Options.MaxEvents is
+// zero. Exported so budget-escalating retry policies can escalate from the
+// effective default rather than from zero.
+const DefaultMaxEvents = 1 << 20
+
 func (o *Options) setDefaults() error {
 	if !(o.Horizon > 0) || math.IsInf(o.Horizon, 0) || math.IsNaN(o.Horizon) {
 		return fmt.Errorf("sim: horizon %g must be positive and finite", o.Horizon)
 	}
 	if o.MaxEvents == 0 {
-		o.MaxEvents = 1 << 20
+		o.MaxEvents = DefaultMaxEvents
 	}
 	if o.MaxDeltas == 0 {
 		o.MaxDeltas = 10000
@@ -380,6 +392,11 @@ func (s *simulation) run() (*Result, error) {
 		}
 		if s.opts.Deadline > 0 && time.Since(s.start) > s.opts.Deadline {
 			return nil, s.abort(fmt.Errorf("%w: %v elapsed at t=%g after %d events", ErrDeadline, s.opts.Deadline, t, s.count))
+		}
+		if s.opts.Context != nil {
+			if cerr := s.opts.Context.Err(); cerr != nil {
+				return nil, s.abort(fmt.Errorf("%w at t=%g after %d events: %v", ErrCanceled, t, s.count, cerr))
+			}
 		}
 		if err := s.deltaCycle(t, batch); err != nil {
 			return nil, s.abort(err)

@@ -10,6 +10,7 @@
 package spf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -36,6 +37,10 @@ type System struct {
 	// Observer, when non-nil, is attached to every simulation this system
 	// launches (RunPulse, Observe, Check) — e.g. a trace.EventTrace sink.
 	Observer sim.Observer
+	// Context, when non-nil, cancels every simulation this system launches
+	// cooperatively (see sim.Options.Context): an interrupted run aborts at
+	// its next event with partial statistics instead of running out.
+	Context context.Context
 }
 
 // NewSystem analyzes the loop channel (which must satisfy constraint (C))
@@ -177,7 +182,7 @@ func (s *System) RunPulse(delta0 float64, newStrategy func() adversary.Strategy,
 		in = signal.Zero()
 	}
 	return sim.Run(c, map[string]signal.Signal{NodeIn: in},
-		sim.Options{Horizon: horizon, MaxEvents: 1 << 22, Observer: s.Observer})
+		sim.Options{Horizon: horizon, MaxEvents: 1 << 22, Observer: s.Observer, Context: s.Context})
 }
 
 // Observation classifies the simulated OR-loop output of one run.
