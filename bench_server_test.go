@@ -1,0 +1,116 @@
+// Serving-layer benchmarks: submit-to-result latency through the full
+// HTTP handler stack (uncached and cache-hit paths measured separately)
+// and sustained multi-client job throughput on the bounded worker pool.
+package involution_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"involution/internal/server"
+)
+
+const benchNetlist = "circuit chain\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 exp tau=1 tp=0.5 vth=0.6\nchannel g o 0 zero\n"
+
+func benchServer(b *testing.B) (*server.Server, http.Handler) {
+	b.Helper()
+	s := server.New(server.Config{Workers: runtime.GOMAXPROCS(0), QueueDepth: 4096, CacheSize: 4096})
+	b.Cleanup(func() { s.Drain(30 * time.Second) })
+	return s, s.Handler()
+}
+
+func submitBody(horizon float64, seed int64) []byte {
+	raw, err := json.Marshal(server.Request{
+		Netlist: benchNetlist,
+		Inputs:  map[string]string{"i": "0 r@1 f@2"},
+		Horizon: horizon,
+		Seed:    seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func postWait(h http.Handler, body []byte) (int, []byte) {
+	req := httptest.NewRequest("POST", "/v1/jobs?wait=1", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.Bytes()
+}
+
+// BenchmarkServerSubmitLatency measures one job's submit→result round trip
+// through the full handler stack: validation, canonicalization, hashing,
+// queueing, simulation and result assembly. The "cached" variant isolates
+// the content-addressed fast path (every iteration hits the same hash).
+func BenchmarkServerSubmitLatency(b *testing.B) {
+	b.Run("uncached", func(b *testing.B) {
+		_, h := benchServer(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A distinct seed per iteration defeats the cache, so every
+			// round trip includes a real simulation.
+			code, body := postWait(h, submitBody(50, int64(i+1)))
+			if code != http.StatusOK {
+				b.Fatalf("status %d: %s", code, body)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		_, h := benchServer(b)
+		body := submitBody(50, 0)
+		if code, resp := postWait(h, body); code != http.StatusOK {
+			b.Fatalf("warm-up: status %d: %s", code, resp)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			code, resp := postWait(h, body)
+			if code != http.StatusOK {
+				b.Fatalf("status %d: %s", code, resp)
+			}
+		}
+	})
+}
+
+// BenchmarkServerThroughput measures sustained completed-jobs/sec with
+// GOMAXPROCS concurrent clients submitting unique jobs against the bounded
+// worker pool.
+func BenchmarkServerThroughput(b *testing.B) {
+	_, h := benchServer(b)
+	clients := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+
+	var wg sync.WaitGroup
+	var seq sync.Mutex
+	next := 0
+	iter := func() int {
+		seq.Lock()
+		defer seq.Unlock()
+		next++
+		return next
+	}
+	perClient := (b.N + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				code, body := postWait(h, submitBody(50, int64(iter())))
+				if code != http.StatusOK {
+					panic(fmt.Sprintf("status %d: %s", code, body))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(perClient*clients)/b.Elapsed().Seconds(), "jobs/s")
+}

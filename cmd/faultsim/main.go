@@ -64,9 +64,10 @@ import (
 	"involution/internal/trace"
 )
 
-// exitInterrupted mirrors netsim's canceled exit code: the campaign was cut
-// short by SIGINT/SIGTERM after flushing partial artifacts.
-const exitInterrupted = 5
+// exitInterrupted is the shared canceled exit code (sim.ExitCode table):
+// the campaign was cut short by SIGINT/SIGTERM after flushing partial
+// artifacts.
+const exitInterrupted = sim.ExitCanceled
 
 type stimuli map[string]signal.Signal
 

@@ -87,7 +87,7 @@ Exit codes:
   %d  run aborted: wall-clock deadline exceeded
   %d  run aborted: panic recovered inside the simulation
   %d  run canceled by SIGINT/SIGTERM
-`, exitOK, exitUsage, exitBudget, exitDeadline, exitPanic, exitCanceled)
+`, sim.ExitOK, sim.ExitUsage, sim.ExitAbort, sim.ExitDeadline, sim.ExitPanic, sim.ExitCanceled)
 	}
 	flag.Parse()
 
@@ -97,7 +97,7 @@ Exit codes:
 
 	// Ctrl-C / SIGTERM cancels the run cooperatively: the simulator aborts
 	// at its next event and every requested stats artifact is still written
-	// with the partial counts before the process exits with exitCanceled.
+	// with the partial counts before the process exits with sim.ExitCanceled.
 	ctx, stop := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -178,7 +178,7 @@ Exit codes:
 		aborted = true
 		abortMsg = err.Error()
 		runStats = ab.Stats
-		exit = abortExit(ab.Class())
+		exit = sim.ExitCode(ab.Class())
 		fmt.Fprintf(os.Stderr, "netsim: run aborted after %d events: %v\n", ab.Stats.Delivered, err)
 	} else {
 		runStats = res.Stats

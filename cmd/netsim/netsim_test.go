@@ -5,6 +5,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"testing"
+
+	"involution/internal/sim"
 )
 
 // ringNetlist oscillates forever: an inverter fed back onto itself through
@@ -53,10 +55,10 @@ func TestExitCodes(t *testing.T) {
 		args []string
 		want int
 	}{
-		{"success", []string{"-f", pulse, "-in", "i=0 r@1 f@3", "-horizon", "10"}, exitOK},
-		{"usage", []string{}, exitUsage},
-		{"budget", []string{"-f", ring, "-horizon", "1e12", "-max-events", "100"}, exitBudget},
-		{"deadline", []string{"-f", ring, "-horizon", "1e12", "-deadline", "50ms"}, exitDeadline},
+		{"success", []string{"-f", pulse, "-in", "i=0 r@1 f@3", "-horizon", "10"}, sim.ExitOK},
+		{"usage", []string{}, sim.ExitUsage},
+		{"budget", []string{"-f", ring, "-horizon", "1e12", "-max-events", "100"}, sim.ExitAbort},
+		{"deadline", []string{"-f", ring, "-horizon", "1e12", "-deadline", "50ms"}, sim.ExitDeadline},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,123 @@
+// Command simd serves simulations over HTTP: POST a netlist or a built-in
+// circuit name with channel/adversary/horizon/budget parameters to
+// /v1/jobs and get back a content-addressed job — identical seeded
+// requests are answered from a bounded LRU result cache, everything else
+// runs on a bounded worker pool with per-job isolation (a panicking or
+// runaway simulation becomes a typed aborted job record, never a dead
+// server).
+//
+// Usage:
+//
+//	simd                                  # listen on :8080
+//	simd -listen :9090 -workers 8 -queue 128 -cache 512
+//	simd -jobs-json jobs.jsonl -drain 30s
+//
+// Endpoints: POST /v1/jobs (submit; ?wait=1 blocks for the result,
+// ?stream=trace streams the live event trace and cancels the job if the
+// client disconnects), GET /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/trace, GET /v1/circuits, GET /healthz, GET /version,
+// GET /metrics (Prometheus text with the simd_* families).
+//
+// On SIGINT/SIGTERM the server drains gracefully: new submissions are
+// rejected with 503, queued and running jobs finish (jobs still running
+// after -drain have their contexts canceled and finish as typed canceled
+// aborts), job records are flushed to -jobs-json as JSONL, and the process
+// exits 0.
+//
+// Exit codes: 0 on a clean run or drain, 1 on usage or listen errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	ossignal "os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"involution/internal/server"
+	"involution/internal/sim"
+)
+
+// version is stamped by the build (-ldflags "-X main.version=…").
+var version = "dev"
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("simd", flag.ContinueOnError)
+	listen := fs.String("listen", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "simulation worker-pool size (default: GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "queued-job bound; full queues reject submits with 503")
+	cacheSize := fs.Int("cache", 256, "result-cache entry bound (negative disables caching)")
+	jobsJSON := fs.String("jobs-json", "", "flush job records to this file as JSONL on shutdown")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound; stragglers are canceled after it")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return sim.ExitUsage
+	}
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		Version:    version,
+	})
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+
+	ctx, stop := ossignal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "simd: listening on %s (workers=%d queue=%d cache=%d)\n",
+			*listen, *workers, *queue, *cacheSize)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on error here (Shutdown is below).
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		return sim.ExitUsage
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills hard
+
+	fmt.Fprintf(os.Stderr, "simd: signal received, draining (bound %v)\n", *drain)
+	srv.Drain(*drain)
+
+	sctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "simd: shutdown: %v\n", err)
+	}
+	<-errc // reap the ListenAndServe goroutine (returns ErrServerClosed)
+
+	if *jobsJSON != "" {
+		f, err := os.Create(*jobsJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: jobs-json: %v\n", err)
+			return sim.ExitUsage
+		}
+		werr := srv.WriteJobRecords(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "simd: jobs-json: %v\n", werr)
+			return sim.ExitUsage
+		}
+		fmt.Fprintf(os.Stderr, "simd: job records flushed to %s\n", *jobsJSON)
+	}
+	fmt.Fprintln(os.Stderr, "simd: drained, bye")
+	return sim.ExitOK
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const testNetlist = "circuit chain\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 pure d=1\nchannel g o 0 zero\n"
+
+// TestServeSubmitDrain runs the real binary entry point end to end: serve,
+// submit a job, resubmit it for a cache hit, SIGTERM, and expect a clean
+// drain (exit 0) with the job records flushed as JSONL.
+func TestServeSubmitDrain(t *testing.T) {
+	jobs := filepath.Join(t.TempDir(), "jobs.jsonl")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"simd", "-listen", addr, "-jobs-json", jobs, "-drain", "10s"}
+	done := make(chan int, 1)
+	go func() { done <- run() }()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"netlist": testNetlist,
+		"inputs":  map[string]string{"i": "0 r@1 f@2"},
+		"horizon": 10,
+	})
+	submit := func() map[string]any {
+		resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		defer resp.Body.Close()
+		var rec map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatalf("decode record: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit: status %d: %v", resp.StatusCode, rec)
+		}
+		return rec
+	}
+	first := submit()
+	if first["status"] != "completed" {
+		t.Fatalf("first job: %v", first)
+	}
+	second := submit()
+	if second["cached"] != true {
+		t.Fatalf("resubmit was not a cache hit: %v", second)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+
+	raw, err := os.ReadFile(jobs)
+	if err != nil {
+		t.Fatalf("job records not flushed: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("flushed %d records, want 2:\n%s", len(lines), raw)
+	}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad record line %q: %v", ln, err)
+		}
+		if rec["status"] != "completed" {
+			t.Fatalf("flushed record not terminal: %v", rec)
+		}
+	}
+}

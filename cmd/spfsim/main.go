@@ -8,9 +8,11 @@
 //	spfsim -tau 1 -tp 0.5 -vth 0.6 -eta+ 0.04 -eta- 0.03 \
 //	       -delta0 1.39 -adversary worst -horizon 500 [-vcd out.vcd]
 //
-// Exit codes: 0 on success, 1 on usage or analysis errors, 2 when the main
-// simulation aborted mid-run (budget or other), 5 when SIGINT/SIGTERM
-// canceled it. Aborted runs still flush -stats-json with partial counts.
+// Exit codes: the shared sim.ExitCode table — 0 on success, 1 on usage or
+// analysis errors, 2 when the main simulation aborted mid-run (budget or
+// other), 3 on a wall-clock deadline, 4 on a recovered panic, 5 when
+// SIGINT/SIGTERM canceled it. Aborted runs still flush -stats-json with
+// partial counts.
 package main
 
 import (
@@ -32,12 +34,6 @@ import (
 	"involution/internal/sim"
 	"involution/internal/spf"
 	"involution/internal/trace"
-)
-
-// Abort exit codes (matching netsim's mapping).
-const (
-	exitAborted  = 2
-	exitCanceled = 5
 )
 
 func main() {
@@ -150,11 +146,7 @@ func main() {
 		aborted = true
 		abortMsg = err.Error()
 		ob.Stats = ab.Stats
-		if ab.Class() == sim.ClassCanceled {
-			exit = exitCanceled
-		} else {
-			exit = exitAborted
-		}
+		exit = sim.ExitCode(ab.Class())
 		fmt.Fprintf(os.Stderr, "spfsim: run aborted after %d events: %v\n", ab.Stats.Delivered, err)
 	}
 	// Detach the trace sink so the auxiliary runs below (-window,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"involution/internal/obs"
+	"involution/internal/sched"
 	"involution/internal/sim"
 )
 
@@ -182,47 +183,31 @@ func (e *Engine) Run(ctx context.Context, scenarios []Scenario) (*Report, error)
 		}
 	}
 
+	// The bounded fan-out and cooperative drain live in sched.ForEach; the
+	// closure owns all result plumbing (rows, journal, metrics).
 	var (
 		mu   sync.Mutex // guards rows/done and the first journal error
 		jerr error
-		wg   sync.WaitGroup
 	)
-	work := make(chan int)
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				row := e.runAttempts(ctx, opts, scenarios[i], simOpts, base, outputs, probes, met)
-				if sim.Class(row.Abort) == sim.ClassCanceled {
-					// The attempt was cut short by cancellation, not by the
-					// scenario itself: leave the slot unfinished so a
-					// resumed campaign re-runs it.
-					continue
-				}
-				met.incCompleted()
-				met.observeAttempts(row.Attempts)
-				mu.Lock()
-				rows[i] = row
-				done[i] = true
-				if j != nil && jerr == nil {
-					jerr = j.Append(row)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, i := range pending {
-		select {
-		case work <- i:
-		case <-ctx.Done():
+	sched.ForEach(ctx, opts.Workers, len(pending), func(k int) {
+		i := pending[k]
+		row := e.runAttempts(ctx, opts, scenarios[i], simOpts, base, outputs, probes, met)
+		if sim.Class(row.Abort) == sim.ClassCanceled {
+			// The attempt was cut short by cancellation, not by the
+			// scenario itself: leave the slot unfinished so a
+			// resumed campaign re-runs it.
+			return
 		}
-		if ctx.Err() != nil {
-			break
+		met.incCompleted()
+		met.observeAttempts(row.Attempts)
+		mu.Lock()
+		rows[i] = row
+		done[i] = true
+		if j != nil && jerr == nil {
+			jerr = j.Append(row)
 		}
-	}
-	close(work)
-	wg.Wait()
+		mu.Unlock()
+	})
 	if jerr != nil {
 		return nil, fmt.Errorf("fault: checkpoint journal: %w", jerr)
 	}
@@ -264,28 +249,36 @@ func (e *Engine) runAttempts(ctx context.Context, eopts Options, sc Scenario, op
 	}
 	deadline := opts.Deadline
 	seed := scenarioSeed(e.Campaign.Seed, sc.ID)
-	for attempt := 0; ; attempt++ {
+	var row Row
+	var lastClass sim.Class
+	sched.Ladder{MaxRetries: eopts.MaxRetries}.Run(ctx, func(attempt int) sched.Verdict {
+		if attempt > 0 {
+			// A retry was granted: escalate the resource the previous
+			// attempt exhausted before re-running.
+			met.incRetries()
+			switch lastClass {
+			case sim.ClassBudget:
+				budget *= eopts.RetryFactor
+			case sim.ClassDeadline:
+				if deadline > 0 {
+					deadline *= time.Duration(eopts.RetryFactor)
+				}
+				seed = scenarioSeed(scenarioSeed(e.Campaign.Seed, sc.ID), attempt)
+			}
+		}
 		aopts := opts
 		aopts.MaxEvents = budget
 		aopts.Deadline = deadline
-		row := e.Campaign.runScenario(sc, seed, aopts, base, outputs, probes)
+		row = e.Campaign.runScenario(sc, seed, aopts, base, outputs, probes)
 		row.Attempts = attempt + 1
-		class := sim.Class(row.Abort)
-		retryable := class == sim.ClassBudget || class == sim.ClassDeadline
-		if row.Outcome != Aborted.String() || !retryable || attempt >= eopts.MaxRetries || ctx.Err() != nil {
-			return row
+		lastClass = sim.Class(row.Abort)
+		retryable := lastClass == sim.ClassBudget || lastClass == sim.ClassDeadline
+		if row.Outcome != Aborted.String() || !retryable {
+			return sched.Done
 		}
-		switch class {
-		case sim.ClassBudget:
-			budget *= eopts.RetryFactor
-		case sim.ClassDeadline:
-			if deadline > 0 {
-				deadline *= time.Duration(eopts.RetryFactor)
-			}
-			seed = scenarioSeed(scenarioSeed(e.Campaign.Seed, sc.ID), attempt+1)
-		}
-		met.incRetries()
-	}
+		return sched.Retry
+	})
+	return row
 }
 
 // binding captures the identity a checkpoint journal must match before its

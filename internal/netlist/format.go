@@ -1,0 +1,138 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stmt is one netlist statement: the whitespace-split fields of a
+// non-comment line (e.g. {"gate", "ht", "BUF", "init=0"}).
+type Stmt struct {
+	// Line is the 1-based source line the statement came from (0 for
+	// programmatically assembled documents); Build error messages cite it.
+	Line int
+	// Fields holds the statement keyword and its operands.
+	Fields []string
+}
+
+// Document is the statement-level syntax tree of a netlist: the circuit
+// name and the input/output/gate/channel statements in source order.
+// ParseDocument produces it, Build turns it into a circuit, and Format
+// writes it back out canonically.
+type Document struct {
+	Name  string
+	Stmts []Stmt
+}
+
+// Format writes the document in canonical form: one statement per line,
+// single-space separated, gate types in their canonical (upper-case)
+// spelling with an explicit init=…, channel kinds lower-cased with options
+// deduplicated (last occurrence wins, like the parser), sorted by key and
+// their numeric values normalized. Statement order is preserved — it is
+// semantically meaningful (node insertion order fixes event tie-breaking).
+//
+// For documents that Build, Format is a fixed point: formatting, parsing
+// and formatting again reproduces the bytes exactly, and the built
+// circuits are identical. That stability is what makes the output usable
+// as a content-addressing key (see internal/server's request hashing).
+// Statements that would fail Build are passed through verbatim.
+func (d *Document) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "circuit %s\n", d.Name); err != nil {
+		return err
+	}
+	for _, st := range d.Stmts {
+		if _, err := fmt.Fprintln(w, strings.Join(canonicalStmt(st.Fields), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the canonical form (see Format) as a string.
+func (d *Document) String() string {
+	var b strings.Builder
+	d.Format(&b) // strings.Builder writes cannot fail
+	return b.String()
+}
+
+// canonicalStmt canonicalizes one statement's fields, falling back to the
+// verbatim fields whenever the statement would not Build.
+func canonicalStmt(fields []string) []string {
+	switch fields[0] {
+	case "gate":
+		return canonicalGate(fields)
+	case "channel":
+		return canonicalChannel(fields)
+	default:
+		return fields
+	}
+}
+
+// canonicalGate rewrites 'gate <name> <type> [init=…]…' with the canonical
+// gate-type spelling and a single explicit init option.
+func canonicalGate(fields []string) []string {
+	if len(fields) < 3 {
+		return fields
+	}
+	fn, err := gateByName(fields[2])
+	if err != nil {
+		return fields
+	}
+	// Replay parseGate's option handling: only init=0|1 options, last
+	// occurrence wins.
+	init := "0"
+	for _, f := range fields[3:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k != "init" || (v != "0" && v != "1") {
+			return fields
+		}
+		init = v
+	}
+	return []string{"gate", fields[1], fn.Name, "init=" + init}
+}
+
+// canonicalChannel rewrites 'channel <from> <to> <pin> <kind> [opts…]' with
+// a normalized pin, lower-case kind and canonical options.
+func canonicalChannel(fields []string) []string {
+	if len(fields) < 5 {
+		return fields
+	}
+	pin, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return fields
+	}
+	kind := strings.ToLower(fields[4])
+	switch kind {
+	case "zero", "pure", "inertial", "ddm", "exp", "blend":
+	default:
+		return fields
+	}
+	opts, err := parseOpts(fields[5:])
+	if err != nil {
+		return fields
+	}
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := []string{"channel", fields[1], fields[2], strconv.Itoa(pin), kind}
+	for _, k := range keys {
+		out = append(out, k+"="+canonicalValue(opts[k]))
+	}
+	return out
+}
+
+// canonicalValue normalizes numeric option values to their shortest
+// round-trippable decimal spelling; non-numeric values (adversary names)
+// pass through verbatim.
+func canonicalValue(v string) string {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return v
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,122 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// formatSamples are netlists exercising every statement kind, option
+// spelling variants (case, duplicate keys, unnormalized numbers) and each
+// channel model the grammar knows.
+var formatSamples = []string{
+	spfNetlist,
+	"circuit k\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 pure d=1\nchannel g o 0 zero\n",
+	"circuit k\ninput i\noutput o\ngate g inv\nchannel i g 0 inertial W=1 d=2.50\nchannel g o 0 zero\n",
+	"circuit k\ninput i\noutput o\ngate g or2 init=1 init=0\nchannel i g 0 DDM tau=5e-1 tp0=1 t0=0.1\nchannel i g 1 pure d=007\nchannel g o 0 zero\n",
+	"circuit k\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 exp vth=0.6 tau=1 tp=0.5 eta+=0.04 eta-=0.03 adversary=uniform seed=7\nchannel g o 0 zero\n",
+	"circuit k\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 blend tau=0.8 tp=0.4 vth=0.5 tau2=8 vth2=0.92 w=0.7\nchannel g o 0 zero\n",
+	"circuit ring\noutput o\ngate n NOT init=1\nchannel n n 0 exp tau=1 tp=0.5 vth=0.6\nchannel n o 0 zero\n",
+}
+
+// TestFormatIdentity is the parse→format→parse property: the canonical
+// form is a fixed point of formatting, and the circuit built from it is
+// structurally identical to the one built from the original source.
+func TestFormatIdentity(t *testing.T) {
+	for i, src := range formatSamples {
+		d1, err := ParseDocument(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("sample %d: ParseDocument: %v", i, err)
+		}
+		c1, err := d1.Build()
+		if err != nil {
+			t.Fatalf("sample %d: Build: %v", i, err)
+		}
+		s1 := d1.String()
+		d2, err := ParseDocument(strings.NewReader(s1))
+		if err != nil {
+			t.Fatalf("sample %d: reparse of canonical form: %v\n%s", i, err, s1)
+		}
+		c2, err := d2.Build()
+		if err != nil {
+			t.Fatalf("sample %d: rebuild of canonical form: %v\n%s", i, err, s1)
+		}
+		if s2 := d2.String(); s2 != s1 {
+			t.Fatalf("sample %d: canonical form is not a fixed point:\nfirst:\n%s\nsecond:\n%s", i, s1, s2)
+		}
+		if g1, g2 := c1.DOT(), c2.DOT(); g1 != g2 {
+			t.Fatalf("sample %d: canonical form builds a different circuit:\n%s\nvs\n%s", i, g1, g2)
+		}
+	}
+}
+
+// TestFormatNormalizes pins down the individual canonicalization rules.
+func TestFormatNormalizes(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"implicit init made explicit",
+			"circuit c\ninput i\ngate g BUF\nchannel i g 0 zero\n",
+			"circuit c\ninput i\ngate g BUF init=0\nchannel i g 0 zero\n"},
+		{"gate alias and case normalized",
+			"circuit c\ninput i\ngate g inv init=1\nchannel i g 0 zero\n",
+			"circuit c\ninput i\ngate g NOT init=1\nchannel i g 0 zero\n"},
+		{"duplicate init collapses to the last",
+			"circuit c\ninput i\ngate g BUF init=1 init=0\nchannel i g 0 zero\n",
+			"circuit c\ninput i\ngate g BUF init=0\nchannel i g 0 zero\n"},
+		{"channel options sorted, keys lowercased, numbers normalized",
+			"circuit c\ninput i\ngate g BUF init=0\nchannel i g 0 inertial W=1.50 d=2e0\n",
+			"circuit c\ninput i\ngate g BUF init=0\nchannel i g 0 inertial d=2 w=1.5\n"},
+		{"kind lowercased and pin normalized",
+			"circuit c\ninput i\ngate g BUF init=0\nchannel i g 00 PURE d=1\n",
+			"circuit c\ninput i\ngate g BUF init=0\nchannel i g 0 pure d=1\n"},
+		{"comments and blank lines dropped",
+			"# header\ncircuit c\n\ninput i\n# mid\ngate g BUF init=0\nchannel i g 0 zero\n",
+			"circuit c\ninput i\ngate g BUF init=0\nchannel i g 0 zero\n"},
+	}
+	for _, c := range cases {
+		d, err := ParseDocument(strings.NewReader(c.in))
+		if err != nil {
+			t.Fatalf("%s: ParseDocument: %v", c.name, err)
+		}
+		if got := d.String(); got != c.want {
+			t.Errorf("%s:\ngot:\n%s\nwant:\n%s", c.name, got, c.want)
+		}
+	}
+}
+
+// FuzzFormat asserts the round-trip contract on arbitrary input: whenever
+// a document parses and builds, its canonical form must reparse, rebuild
+// an identical circuit, and be a byte-exact fixed point of Format.
+func FuzzFormat(f *testing.F) {
+	for _, s := range formatSamples {
+		f.Add(s)
+	}
+	f.Add("circuit c\ninput i\ngate g BUF iNiT=1\nchannel i g 0 zero\n")
+	f.Add("circuit c\ninput i\nchannel i i 0 pure d=0x1p-3\n")
+	f.Add("gate before circuit\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ParseDocument(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		c1, err := d.Build()
+		if err != nil {
+			return
+		}
+		s1 := d.String()
+		d2, err := ParseDocument(strings.NewReader(s1))
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, s1)
+		}
+		c2, err := d2.Build()
+		if err != nil {
+			t.Fatalf("canonical form does not rebuild: %v\n%s", err, s1)
+		}
+		if s2 := d2.String(); s2 != s1 {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+		if g1, g2 := c1.DOT(), c2.DOT(); g1 != g2 {
+			t.Fatalf("canonical form builds a different circuit:\n%s\nvs\n%s", g1, g2)
+		}
+	})
+}

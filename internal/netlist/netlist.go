@@ -39,7 +39,20 @@ import (
 
 // Parse reads the netlist format and builds a validated circuit.
 func Parse(r io.Reader) (*circuit.Circuit, error) {
-	var c *circuit.Circuit
+	d, err := ParseDocument(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.Build()
+}
+
+// ParseDocument reads the netlist format into its statement-level syntax
+// tree without building the circuit. Only structural properties are
+// checked here (circuit header first, known statement keywords); statement
+// semantics (gate types, channel kinds, option values) are validated by
+// Build.
+func ParseDocument(r io.Reader) (*Document, error) {
+	var d *Document
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -49,7 +62,7 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if fields[0] != "circuit" && c == nil {
+		if fields[0] != "circuit" && d == nil {
 			return nil, fmt.Errorf("netlist: line %d: first statement must be 'circuit <name>'", lineNo)
 		}
 		var err error
@@ -57,27 +70,13 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 		case "circuit":
 			if len(fields) != 2 {
 				err = fmt.Errorf("want 'circuit <name>'")
-			} else if c != nil {
+			} else if d != nil {
 				err = fmt.Errorf("duplicate circuit statement")
 			} else {
-				c = circuit.New(fields[1])
+				d = &Document{Name: fields[1]}
 			}
-		case "input":
-			if len(fields) != 2 {
-				err = fmt.Errorf("want 'input <name>'")
-			} else {
-				err = c.AddInput(fields[1])
-			}
-		case "output":
-			if len(fields) != 2 {
-				err = fmt.Errorf("want 'output <name>'")
-			} else {
-				err = c.AddOutput(fields[1])
-			}
-		case "gate":
-			err = parseGate(c, fields)
-		case "channel":
-			err = parseChannel(c, fields)
+		case "input", "output", "gate", "channel":
+			d.Stmts = append(d.Stmts, Stmt{Line: lineNo, Fields: fields})
 		default:
 			err = fmt.Errorf("unknown statement %q", fields[0])
 		}
@@ -88,8 +87,40 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if c == nil {
+	if d == nil {
 		return nil, fmt.Errorf("netlist: empty input")
+	}
+	return d, nil
+}
+
+// Build constructs and validates the circuit described by the document.
+func (d *Document) Build() (*circuit.Circuit, error) {
+	c := circuit.New(d.Name)
+	for _, st := range d.Stmts {
+		var err error
+		switch st.Fields[0] {
+		case "input":
+			if len(st.Fields) != 2 {
+				err = fmt.Errorf("want 'input <name>'")
+			} else {
+				err = c.AddInput(st.Fields[1])
+			}
+		case "output":
+			if len(st.Fields) != 2 {
+				err = fmt.Errorf("want 'output <name>'")
+			} else {
+				err = c.AddOutput(st.Fields[1])
+			}
+		case "gate":
+			err = parseGate(c, st.Fields)
+		case "channel":
+			err = parseChannel(c, st.Fields)
+		default:
+			err = fmt.Errorf("unknown statement %q", st.Fields[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %v", st.Line, err)
+		}
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// resultCache is a bounded LRU of serialized results keyed by the canonical
+// request hash. Values are the exact bytes served to the first client, so a
+// cache hit is byte-identical to the original result by construction.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List               // front = most recently used
+	byKey map[string]*list.Element // value: *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	val json.RawMessage
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached result bytes and marks the entry most recently
+// used.
+func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores the result bytes, evicting the least recently used entry when
+// the cache is full.
+func (c *resultCache) put(key string, val json.RawMessage) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

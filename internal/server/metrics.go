@@ -1,0 +1,69 @@
+package server
+
+import (
+	"net/http"
+
+	"involution/internal/obs"
+)
+
+// metrics bundles the service's simd_* instruments. Counters are bumped at
+// the event sites; the instantaneous gauges (queue depth, in-flight jobs,
+// cache occupancy, hit ratio) are refreshed at scrape time so /metrics is
+// consistent without a background sampler.
+type metrics struct {
+	submitted   *obs.Counter
+	completed   *obs.Counter
+	aborted     *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	queueFull   *obs.Counter
+
+	queueDepth    *obs.Gauge
+	inFlight      *obs.Gauge
+	cacheEntries  *obs.Gauge
+	cacheHitRatio *obs.Gauge
+
+	latency *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		submitted:   reg.Counter("simd_jobs_submitted_total", "jobs accepted by POST /v1/jobs (including cache hits)"),
+		completed:   reg.Counter("simd_jobs_completed_total", "jobs that ran to their horizon"),
+		aborted:     reg.Counter("simd_jobs_aborted_total", "jobs that aborted (any sim abort class)"),
+		cacheHits:   reg.Counter("simd_cache_hits_total", "submissions answered from the result cache"),
+		cacheMisses: reg.Counter("simd_cache_misses_total", "submissions that had to run"),
+		queueFull:   reg.Counter("simd_queue_full_total", "submissions rejected because the job queue was full"),
+
+		queueDepth:    reg.Gauge("simd_queue_depth", "jobs waiting in the worker-pool queue"),
+		inFlight:      reg.Gauge("simd_jobs_inflight", "jobs currently simulating"),
+		cacheEntries:  reg.Gauge("simd_cache_entries", "results held by the LRU cache"),
+		cacheHitRatio: reg.Gauge("simd_cache_hit_ratio", "cache hits / (hits + misses) since start"),
+
+		latency: reg.Histogram("simd_job_latency_seconds", "wall-clock job latency from start to finish",
+			obs.ExpBuckets(0.001, 4, 8)),
+	}
+}
+
+// refresh recomputes the instantaneous gauges from live server state.
+func (m *metrics) refresh(s *Server) {
+	m.queueDepth.Set(float64(s.pool.Depth()))
+	m.inFlight.Set(float64(s.pool.InFlight()))
+	m.cacheEntries.Set(float64(s.cache.len()))
+	hits, misses := float64(m.cacheHits.Value()), float64(m.cacheMisses.Value())
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = hits / (hits + misses)
+	}
+	m.cacheHitRatio.Set(ratio)
+}
+
+// metricsHandler refreshes the gauges and delegates to the registry's
+// Prometheus text handler.
+func (s *Server) metricsHandler() http.Handler {
+	inner := s.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.refresh(s)
+		inner.ServeHTTP(w, r)
+	})
+}

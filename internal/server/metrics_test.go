@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// doJSONConcurrent is doJSON without the *testing.T plumbing, safe to call
+// from concurrent goroutines (errors surface through response codes).
+func doJSONConcurrent(h http.Handler, method, target string, body any) *httptest.ResponseRecorder {
+	var rd *bytes.Reader
+	if body != nil {
+		raw, _ := json.Marshal(body)
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestMetricsConcurrentScrapes hammers /metrics while jobs are mutating
+// the obs registry from pool workers — the data-race check behind the
+// scrape path (run the package under -race to arm it).
+func TestMetricsConcurrentScrapes(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	t.Cleanup(func() { s.Drain(10 * time.Second) })
+	h := s.Handler()
+
+	const submitters, jobsEach, scrapers, scrapesEach = 4, 8, 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*jobsEach+scrapers*scrapesEach)
+
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < jobsEach; i++ {
+				// Distinct horizons defeat the cache so every job really
+				// runs and bumps counters/histograms.
+				req := Request{
+					Netlist: bufNetlist,
+					Inputs:  map[string]string{"i": "0 r@1 f@2"},
+					Horizon: float64(10 + g*jobsEach + i),
+				}
+				w := doJSONConcurrent(h, "POST", "/v1/jobs?wait=1", req)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("submit: status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scrapesEach; i++ {
+				w := doJSONConcurrent(h, "GET", "/metrics", nil)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("scrape: status %d", w.Code)
+					continue
+				}
+				if !strings.Contains(w.Body.String(), "simd_jobs_submitted_total") {
+					errs <- fmt.Errorf("scrape missing simd metrics:\n%s", w.Body.String())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the storm the exposition must carry every simd_* family.
+	w := doJSONConcurrent(h, "GET", "/metrics", nil)
+	for _, want := range []string{
+		"simd_jobs_submitted_total",
+		"simd_jobs_completed_total",
+		"simd_jobs_aborted_total",
+		"simd_cache_hits_total",
+		"simd_cache_misses_total",
+		"simd_queue_full_total",
+		"simd_queue_depth",
+		"simd_jobs_inflight",
+		"simd_cache_entries",
+		"simd_cache_hit_ratio",
+		"simd_job_latency_seconds_bucket",
+	} {
+		if !strings.Contains(w.Body.String(), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,507 @@
+// Package server implements simulation-as-a-service: the HTTP/NDJSON
+// engine behind cmd/simd. Jobs — a netlist or a built-in circuit name plus
+// channel/adversary/horizon/budget parameters — are POSTed to /v1/jobs,
+// validated and canonicalized into a content-addressed form, answered from
+// a bounded LRU result cache when an identical request already ran, and
+// otherwise executed on a bounded worker pool with per-job isolation: a
+// panicking or runaway simulation becomes a typed aborted job record, never
+// a dead server.
+//
+// Endpoints:
+//
+//	POST /v1/jobs            submit (?wait=1 blocks, ?stream=trace holds the
+//	                         response open streaming the live event trace;
+//	                         disconnecting a streaming submit cancels the job)
+//	GET  /v1/jobs            list job records (without result payloads)
+//	GET  /v1/jobs/{id}       one job record, result payload included
+//	GET  /v1/jobs/{id}/trace follow the job's event trace as JSONL
+//	GET  /v1/circuits        built-in circuits and their adversaries
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /version            service and build identity
+//	GET  /metrics            Prometheus text exposition (simd_* metrics)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"involution/internal/obs"
+	"involution/internal/sched"
+	"involution/internal/sim"
+)
+
+// DefaultHorizon is the simulated-time bound applied when a request leaves
+// Request.Horizon zero.
+const DefaultHorizon = 100
+
+// maxRequestBytes bounds the submit body (netlists are text; 16 MiB is
+// generous).
+const maxRequestBytes = 16 << 20
+
+// Config parametrizes a Server. The zero value is usable: every field has
+// a default.
+type Config struct {
+	// Workers is the simulation worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; full
+	// queues reject submits with 503 (default 64).
+	QueueDepth int
+	// CacheSize bounds the result cache entry count (default 256; 0 uses
+	// the default, negative disables caching).
+	CacheSize int
+	// Registry receives the simd_* metrics (default: a fresh registry).
+	Registry *obs.Registry
+	// Version is reported by GET /version (default "dev").
+	Version string
+}
+
+// Server is the simulation service. Create with New, mount Handler, and
+// Drain on shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	met   *metrics
+	pool  *sched.Pool
+	cache *resultCache
+
+	// baseCtx parents every job context; Drain cancels it to convert
+	// stragglers into typed canceled aborts.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+
+	mu       sync.Mutex
+	builtins []Builtin
+	jobs     map[string]*job
+	order    []string // job IDs in submission order
+	lastID   int64
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Version == "" {
+		cfg.Version = "dev"
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		pool:     sched.NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheSize),
+		builtins: defaultBuiltins(),
+		jobs:     make(map[string]*job),
+	}
+	s.met = newMetrics(s.reg)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.Handle("GET /metrics", s.metricsHandler())
+	mux.HandleFunc("GET /v1/circuits", s.handleCircuits)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"service": "simd", "version": s.cfg.Version})
+}
+
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"circuits": s.builtinList()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "request body: "+err.Error())
+		return
+	}
+	c, err := s.compile(req)
+	if err != nil {
+		var re *requestError
+		if errors.As(err, &re) {
+			writeError(w, http.StatusBadRequest, re.Error())
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.met.submitted.Inc()
+
+	q := r.URL.Query()
+	streaming := q.Get("stream") == "trace"
+	wantTrace := streaming || q.Get("trace") == "1"
+
+	// Content-addressed fast path: an identical canonical request already
+	// completed, so answer with the exact cached bytes (streaming and
+	// waiting submits get the record immediately — there is nothing left
+	// to follow).
+	if raw, ok := s.cache.get(c.hash); ok {
+		s.met.cacheHits.Inc()
+		j := s.register(c, false)
+		now := time.Now()
+		j.finish.Do(func() {
+			j.mu.Lock()
+			j.rec.Status = StatusCompleted
+			j.rec.Cached = true
+			j.rec.Finished = &now
+			j.rec.Result = raw
+			j.mu.Unlock()
+			close(j.done)
+		})
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	s.met.cacheMisses.Inc()
+
+	j := s.register(c, wantTrace)
+	if err := s.pool.Submit(func() { s.runJob(j) }); err != nil {
+		s.unregister(j)
+		if errors.Is(err, sched.ErrQueueFull) {
+			s.met.queueFull.Inc()
+		}
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+
+	switch {
+	case streaming:
+		// Hold the response open following the live trace. The request
+		// context ends if the client disconnects mid-stream; canceling the
+		// job then turns it into a typed canceled abort instead of wasted
+		// work. (After a normal end-of-stream the cancel is a no-op: the
+		// job already finished.)
+		stop := context.AfterFunc(r.Context(), j.cancel)
+		defer stop()
+		w.Header().Set("X-Job-Id", j.snapshot().ID)
+		s.streamTrace(w, r, j)
+	case q.Get("wait") == "1":
+		select {
+		case <-j.done:
+			writeJSON(w, http.StatusOK, j.snapshot())
+		case <-r.Context().Done():
+			// Client went away while waiting; the job keeps running.
+		}
+	default:
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	recs := make([]Record, len(js))
+	for i, j := range js {
+		recs[i] = j.snapshot()
+		recs[i].Result = nil // keep the listing light; fetch /v1/jobs/{id} for payloads
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": recs})
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.trace == nil {
+		writeError(w, http.StatusConflict, "job was submitted without tracing (use ?trace=1 or ?stream=trace)")
+		return
+	}
+	s.streamTrace(w, r, j)
+}
+
+// streamTrace follows the job's trace buffer to the response as NDJSON
+// until the job finishes or the client disconnects.
+func (s *Server) streamTrace(w http.ResponseWriter, r *http.Request, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	stop := j.trace.followBroadcast(r.Context())
+	defer stop()
+	off := 0
+	for {
+		chunk, done := j.trace.next(r.Context(), off)
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			off += len(chunk)
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// register allocates a job ID and inserts the queued job record.
+func (s *Server) register(c *compiled, withTrace bool) *job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{c: c, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+	if withTrace {
+		j.trace = newTraceBuf()
+	}
+	s.mu.Lock()
+	s.lastID++
+	id := fmt.Sprintf("job-%06d", s.lastID)
+	j.rec = Record{
+		ID:        id,
+		Circuit:   c.name,
+		Hash:      c.hash,
+		Status:    StatusQueued,
+		Trace:     withTrace,
+		Submitted: time.Now(),
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	return j
+}
+
+// unregister removes a job that never made it into the queue.
+func (s *Server) unregister(j *job) {
+	j.cancel()
+	id := j.snapshot().ID
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// runJob executes one job on a pool worker. Isolation is layered: sim.Run
+// converts in-simulation panics into typed aborts itself, the deferred
+// recover here catches anything around it (observer plumbing, result
+// assembly), and the pool's own recover is the last resort that keeps the
+// worker alive.
+func (s *Server) runJob(j *job) {
+	start := time.Now()
+	j.mu.Lock()
+	j.rec.Status = StatusRunning
+	j.rec.Started = &start
+	j.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			s.finishJob(j, start, ResultPayload{
+				Status:   StatusAborted,
+				Class:    string(sim.ClassPanic),
+				Error:    fmt.Sprintf("server: panic while running job: %v", r),
+				ExitCode: sim.ExitPanic,
+				Horizon:  j.c.req.Horizon,
+			})
+		}
+	}()
+
+	opts := sim.Options{
+		Horizon:   j.c.req.Horizon,
+		MaxEvents: j.c.req.MaxEvents,
+		Deadline:  j.c.deadline(),
+		Context:   j.ctx,
+	}
+	if j.trace != nil {
+		opts.Observer = newLiveTrace(j.trace)
+	}
+	res, err := sim.Run(j.c.circuit, j.c.inputs, opts)
+
+	var p ResultPayload
+	switch {
+	case err == nil:
+		outs := make(map[string]string)
+		for _, name := range j.c.circuit.Outputs() {
+			outs[name] = res.Signals[name].String()
+		}
+		stats := res.Stats
+		stats.Duration = 0 // scrubbed for cache determinism; see ResultPayload
+		p = ResultPayload{
+			Status:   StatusCompleted,
+			ExitCode: sim.ExitOK,
+			Events:   res.Events,
+			Horizon:  res.Horizon,
+			Outputs:  outs,
+			Stats:    stats,
+		}
+	default:
+		var ab *sim.AbortError
+		if errors.As(err, &ab) {
+			p = ResultPayload{
+				Status:   StatusAborted,
+				Class:    string(ab.Class()),
+				Error:    ab.Error(),
+				ExitCode: sim.ExitCode(ab.Class()),
+				Horizon:  j.c.req.Horizon,
+				Stats:    ab.Stats,
+			}
+		} else {
+			p = ResultPayload{
+				Status:   StatusAborted,
+				Class:    string(sim.ClassOther),
+				Error:    err.Error(),
+				ExitCode: sim.ExitAbort,
+				Horizon:  j.c.req.Horizon,
+			}
+		}
+	}
+	s.finishJob(j, start, p)
+}
+
+// finishJob records the terminal state, feeds the cache and metrics, and
+// releases waiters. The sync.Once makes the terminal transition idempotent
+// even if the recover path re-enters.
+func (s *Server) finishJob(j *job, start time.Time, p ResultPayload) {
+	j.finish.Do(func() {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			raw, _ = json.Marshal(ResultPayload{
+				Status: StatusAborted, Class: string(sim.ClassOther),
+				Error: "server: result encoding: " + err.Error(), ExitCode: sim.ExitAbort,
+			})
+			p.Status = StatusAborted
+		}
+		end := time.Now()
+		j.mu.Lock()
+		j.rec.Status = p.Status
+		j.rec.Class = p.Class
+		j.rec.Error = p.Error
+		j.rec.Finished = &end
+		j.rec.Result = raw
+		j.mu.Unlock()
+		if p.Status == StatusCompleted {
+			s.cache.put(j.c.hash, raw)
+			s.met.completed.Inc()
+		} else {
+			s.met.aborted.Inc()
+		}
+		s.met.latency.Observe(end.Sub(start).Seconds())
+		if j.trace != nil {
+			j.trace.close()
+		}
+		j.cancel() // release the context's resources
+		close(j.done)
+	})
+}
+
+// Drain stops accepting submissions and waits for queued and running jobs
+// to finish. Jobs still running after timeout have their contexts canceled
+// and finish as typed canceled aborts; timeout <= 0 waits indefinitely.
+// The server cannot accept jobs again after Drain.
+func (s *Server) Drain(timeout time.Duration) {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	if timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			s.baseCancel()
+			<-done
+		}
+	} else {
+		<-done
+	}
+	s.baseCancel()
+}
+
+// WriteJobRecords writes every job record as JSONL in submission order —
+// the drain-time flush behind cmd/simd's -jobs-json flag.
+func (s *Server) WriteJobRecords(w io.Writer) error {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, j := range js {
+		if err := enc.Encode(j.snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

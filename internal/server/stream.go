@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"involution/internal/sim"
+	"involution/internal/trace"
+)
+
+// traceBuf is a single-writer, many-reader append-only byte buffer with
+// blocking follow reads — the broadcast channel between one running
+// simulation's trace sink and any number of live HTTP streams. Writes come
+// from the job's worker goroutine; readers follow from an offset and block
+// until more bytes arrive or the buffer closes.
+type traceBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newTraceBuf() *traceBuf {
+	tb := &traceBuf{}
+	tb.cond = sync.NewCond(&tb.mu)
+	return tb
+}
+
+// Write implements io.Writer for the trace sink; it never fails.
+func (tb *traceBuf) Write(p []byte) (int, error) {
+	tb.mu.Lock()
+	tb.buf = append(tb.buf, p...)
+	tb.cond.Broadcast()
+	tb.mu.Unlock()
+	return len(p), nil
+}
+
+// close marks the stream complete and wakes every blocked reader.
+func (tb *traceBuf) close() {
+	tb.mu.Lock()
+	tb.closed = true
+	tb.cond.Broadcast()
+	tb.mu.Unlock()
+}
+
+// next returns a copy of the bytes appended after off, blocking until data
+// arrives, the buffer closes, or ctx is canceled. done reports that no
+// further bytes will follow this chunk. Callers must arrange for a
+// cond.Broadcast on ctx cancellation (see followBroadcast) — the wait loop
+// itself cannot watch a channel.
+func (tb *traceBuf) next(ctx context.Context, off int) (chunk []byte, done bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	for off >= len(tb.buf) {
+		if tb.closed || ctx.Err() != nil {
+			return nil, true
+		}
+		tb.cond.Wait()
+	}
+	return append([]byte(nil), tb.buf[off:]...), false
+}
+
+// followBroadcast wakes next's wait loop when ctx is canceled. The
+// broadcast runs under the buffer mutex so it cannot slip between a
+// reader's ctx check and its cond.Wait. The returned stop releases the
+// watcher.
+func (tb *traceBuf) followBroadcast(ctx context.Context) (stop func() bool) {
+	return context.AfterFunc(ctx, func() {
+		tb.mu.Lock()
+		tb.cond.Broadcast()
+		tb.mu.Unlock()
+	})
+}
+
+// liveTrace adapts trace.EventTrace for live streaming: every observer hook
+// is flushed through to the traceBuf immediately, so followers see events
+// as they are simulated instead of on 64 KiB buffer boundaries.
+type liveTrace struct {
+	et *trace.EventTrace
+}
+
+func newLiveTrace(tb *traceBuf) *liveTrace {
+	return &liveTrace{et: trace.NewEventTrace(tb)}
+}
+
+// EventScheduled implements sim.Observer.
+func (lt *liveTrace) EventScheduled(e sim.Event) { lt.et.EventScheduled(e); lt.et.Flush() }
+
+// EventDelivered implements sim.Observer.
+func (lt *liveTrace) EventDelivered(e sim.Event) { lt.et.EventDelivered(e); lt.et.Flush() }
+
+// EventCanceled implements sim.Observer.
+func (lt *liveTrace) EventCanceled(e sim.Event) { lt.et.EventCanceled(e); lt.et.Flush() }
+
+// DeltaCycleDone implements sim.Observer.
+func (lt *liveTrace) DeltaCycleDone(t float64, rounds int) {
+	lt.et.DeltaCycleDone(t, rounds)
+	lt.et.Flush()
+}
+
+// Annihilation implements sim.Observer.
+func (lt *liveTrace) Annihilation(node string, t float64) { lt.et.Annihilation(node, t); lt.et.Flush() }

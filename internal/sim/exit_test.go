@@ -1,0 +1,25 @@
+package sim
+
+import "testing"
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		class Class
+		want  int
+	}{
+		{ClassBudget, ExitAbort},
+		{ClassDeadline, ExitDeadline},
+		{ClassPanic, ExitPanic},
+		{ClassCanceled, ExitCanceled},
+		{ClassBadTime, ExitAbort},
+		{ClassWatch, ExitAbort},
+		{ClassOscillation, ExitAbort},
+		{ClassOther, ExitAbort},
+		{Class("some-future-class"), ExitAbort},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.class); got != c.want {
+			t.Errorf("ExitCode(%q) = %d, want %d", c.class, got, c.want)
+		}
+	}
+}
