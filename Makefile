@@ -25,14 +25,15 @@ fmt-check:
 # bench runs the core simulator benchmarks (the O(1) retirement guard,
 # the cancellation-churn workload, the observer fast-path comparison, the
 # event-time validation on/off pair, the end-to-end ring oscillator, the
-# parallel campaign engine scaling run, and the serving-layer submit
-# latency/throughput pair) and writes BENCH_sim.json — the
-# machine-readable evidence for the ≤2 % no-observer and ≤2 %
-# scheduling-time-validation overhead budgets and the workers=N report
-# identity.
-BENCH_PATTERN := BenchmarkDeepPendingRetirement|BenchmarkCancellationHeavyChain|BenchmarkObserverOverhead|BenchmarkEventTimeValidation|BenchmarkSimulatorRingOscillator|BenchmarkCampaignParallel|BenchmarkServerSubmitLatency|BenchmarkServerThroughput
+# parallel campaign engine scaling run, the serving-layer submit
+# latency/throughput pair, and the cluster dispatch-overhead/fleet-scaling
+# pair) and writes BENCH_sim.json — the machine-readable evidence for the
+# ≤2 % no-observer and ≤2 % scheduling-time-validation overhead budgets,
+# the workers=N report identity, and the ≥1.5× two-node sweep throughput
+# floor.
+BENCH_PATTERN := BenchmarkDeepPendingRetirement|BenchmarkCancellationHeavyChain|BenchmarkObserverOverhead|BenchmarkEventTimeValidation|BenchmarkSimulatorRingOscillator|BenchmarkCampaignParallel|BenchmarkServerSubmitLatency|BenchmarkServerThroughput|BenchmarkClusterDispatch|BenchmarkClusterSweepThroughput
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 ./internal/sim/ . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 ./internal/sim/ ./internal/cluster/ . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_sim.json
 
 clean:

@@ -1,0 +1,430 @@
+// Command simctl drives a fleet of simd nodes: it shards fault campaigns
+// and Theorem 9 SET-filtering sweeps into content-addressed simulation
+// jobs, fans them out over HTTP with consistent-hash routing, hedged
+// retries and circuit breaking, and reassembles the shard results in
+// scenario order — the merged CSV/JSONL reports are byte-identical for
+// any node count and any failure interleaving.
+//
+// Usage:
+//
+//	simctl sweep    -peers host:8080,host:8081 -csv sweep.csv
+//	simctl campaign -peers host:8080 -f design.net -in 'i=0 r@1 f@2.5'
+//
+// sweep reruns the Theorem 9 experiment remotely: for each adversary the
+// Fig. 5 SPF circuit is rendered as a netlist (experiments.SPFNetlist),
+// SET strikes spanning the cancel/metastable/lock regimes are injected on
+// its input, and the outcomes are classified against a local baseline.
+//
+// campaign sweeps an overlay-only fault grid (SETs and stuck-ats; wrapper
+// faults need in-process scheduler hooks and are the local faultsim's
+// job) over a netlist design. Scenarios the fleet cannot express fall
+// back to local execution transparently.
+//
+// Exit codes: 0 when the run completed (aborted scenarios are contained
+// rows, not process failures), 1 on usage, I/O or cluster errors, 5 when
+// SIGINT/SIGTERM interrupted the run — partial artifacts are flushed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	ossignal "os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"involution/internal/cluster"
+	"involution/internal/experiments"
+	"involution/internal/fault"
+	"involution/internal/netlist"
+	"involution/internal/obs"
+	"involution/internal/signal"
+	"involution/internal/sim"
+	"involution/internal/spf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return sim.ExitUsage
+	}
+	switch args[0] {
+	case "sweep":
+		return runSweep(args[1:], stdout, stderr)
+	case "campaign":
+		return runCampaign(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "simctl: unknown command %q\n", args[0])
+		usage(stderr)
+		return sim.ExitUsage
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  simctl sweep    -peers <addr,...> [flags]   Theorem 9 SET sweep on the fleet
+  simctl campaign -peers <addr,...> -f <netlist> [flags]   overlay-fault campaign
+
+run 'simctl <command> -h' for the command's flags
+`)
+}
+
+// clusterFlags holds the fleet knobs shared by both commands.
+type clusterFlags struct {
+	peers        string
+	timeout      time.Duration
+	hedge        time.Duration
+	retries      int
+	nodeInFlight int
+}
+
+func (cf *clusterFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&cf.peers, "peers", "", "comma-separated simd node addresses (required)")
+	fs.DurationVar(&cf.timeout, "timeout", 2*time.Minute, "per-request timeout")
+	fs.DurationVar(&cf.hedge, "hedge", 0, "straggler delay before hedging a shard onto a second node (0: no hedging)")
+	fs.IntVar(&cf.retries, "retries", 0, "per-shard reschedules across distinct nodes (0: try every node once)")
+	fs.IntVar(&cf.nodeInFlight, "node-inflight", 4, "concurrent requests per node")
+}
+
+func (cf *clusterFlags) coordinator(reg *obs.Registry) (*cluster.Coordinator, error) {
+	var peers []string
+	for _, p := range strings.Split(cf.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is required (comma-separated simd addresses)")
+	}
+	return cluster.NewCoordinator(cluster.Options{
+		Peers:        peers,
+		Timeout:      cf.timeout,
+		Hedge:        cf.hedge,
+		Retries:      cf.retries,
+		NodeInFlight: cf.nodeInFlight,
+		Registry:     reg,
+	})
+}
+
+// stimuli is the repeatable -in flag: '<port>=<signal>'.
+type stimuli map[string]signal.Signal
+
+func (s stimuli) String() string { return fmt.Sprintf("%d stimuli", len(s)) }
+
+func (s stimuli) Set(v string) error {
+	name, text, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want <port>=<signal>, got %q", v)
+	}
+	sig, err := signal.Parse(strings.TrimSpace(text))
+	if err != nil {
+		return err
+	}
+	s[strings.TrimSpace(name)] = sig
+	return nil
+}
+
+// sweepRow is one scenario of the combined multi-adversary sweep report.
+type sweepRow struct {
+	Adversary string `json:"adversary"`
+	fault.Row
+}
+
+func runSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simctl sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cf clusterFlags
+	cf.register(fs)
+	adversaries := fs.String("adversaries", "zero,worst,maxup,uniform", "comma-separated η adversaries to sweep")
+	horizon := fs.Float64("horizon", 1200, "simulation horizon per scenario")
+	seed := fs.Int64("seed", 7, "sweep seed (scenario rngs, adversary rngs and reports derive from it)")
+	workers := fs.Int("workers", 0, "concurrent shards in flight (0: GOMAXPROCS; reports are identical for any value)")
+	maxRetries := fs.Int("max-retries", 2, "re-runs per scenario aborting on budget/deadline, under escalating limits")
+	csvPath := fs.String("csv", "", `write the combined report as CSV to this file ("-" = stdout)`)
+	jsonlPath := fs.String("jsonl", "", `write the combined report as JSONL to this file ("-" = stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return sim.ExitUsage
+	}
+
+	ctx, stopSignals := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	reg := obs.NewRegistry()
+	coord, err := cf.coordinator(reg)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	defer coord.Close()
+
+	var results []struct {
+		adversary string
+		report    *fault.Report
+	}
+	interrupted := false
+	for _, adv := range strings.Split(*adversaries, ",") {
+		adv = strings.TrimSpace(adv)
+		if adv == "" {
+			continue
+		}
+		doc, sys, err := experiments.SPFNetlist(adv, *seed)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		c, err := doc.Build()
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		a := sys.Analysis
+		widths := []float64{
+			0.3 * a.CancelBound,
+			0.9 * a.CancelBound,
+			0.5 * (a.CancelBound + a.Delta0Tilde),
+			0.9 * a.Delta0Tilde,
+			1.2 * a.LockBound,
+			2.0 * a.LockBound,
+		}
+		models := make([]fault.Model, 0, len(widths))
+		for _, w := range widths {
+			models = append(models, fault.SET{At: 5, Width: w})
+		}
+		camp := &fault.Campaign{
+			Circuit: c,
+			Inputs:  map[string]signal.Signal{spf.NodeIn: signal.Zero()},
+			Horizon: *horizon,
+			Seed:    *seed,
+			Probes:  []string{spf.NodeOr, spf.NodeHT},
+		}
+		eng := &fault.Engine{Campaign: camp, Opts: fault.Options{
+			Workers:    *workers,
+			MaxRetries: *maxRetries,
+			Registry:   reg,
+			Executor:   &cluster.CampaignExecutor{Coord: coord, Doc: doc, Inputs: camp.Inputs},
+		}}
+		site := fault.Site{From: spf.NodeIn, To: spf.NodeOr, Pin: 0}
+		rep, err := eng.Run(ctx, fault.Grid([]fault.Site{site}, models))
+		if errors.Is(err, fault.ErrInterrupted) {
+			fmt.Fprintf(stderr, "simctl: %v — flushing partial report\n", err)
+			interrupted = true
+		} else if err != nil {
+			return fatal(stderr, err)
+		}
+		fmt.Fprintf(stdout, "adversary %s: cancel ≤ %.4f < metastable (Δ̃₀=%.4f) < %.4f ≤ lock\n",
+			adv, a.CancelBound, a.Delta0Tilde, a.LockBound)
+		fmt.Fprint(stdout, rep.Format())
+		results = append(results, struct {
+			adversary string
+			report    *fault.Report
+		}{adv, rep})
+		if interrupted {
+			break
+		}
+	}
+
+	writeCSV := func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "adversary,id,site,model,outcome,abort,attempts,scheduled,delivered,canceled"); err != nil {
+			return err
+		}
+		for _, r := range results {
+			for _, row := range r.report.Rows {
+				if _, err := fmt.Fprintf(w, "%s,%d,%s,%s,%s,%s,%d,%d,%d,%d\n",
+					r.adversary, row.ID, row.Site, row.Model, row.Outcome, row.Abort,
+					row.Attempts, row.Scheduled, row.Delivered, row.Canceled); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	writeJSONL := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for _, r := range results {
+			for _, row := range r.report.Rows {
+				if err := enc.Encode(sweepRow{Adversary: r.adversary, Row: row}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := writeReport(stdout, *csvPath, writeCSV); err != nil {
+		return fatal(stderr, err)
+	}
+	if err := writeReport(stdout, *jsonlPath, writeJSONL); err != nil {
+		return fatal(stderr, err)
+	}
+	clusterSummary(stdout, reg)
+	if interrupted {
+		return sim.ExitCanceled
+	}
+	return 0
+}
+
+func runCampaign(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simctl campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cf clusterFlags
+	cf.register(fs)
+	file := fs.String("f", "", "netlist file (required)")
+	horizon := fs.Float64("horizon", 600, "simulation horizon per scenario")
+	seed := fs.Int64("seed", 1, "campaign seed (scenario rngs and reports derive from it)")
+	maxEvents := fs.Int("max-events", 0, "event budget per scenario run (0: simulator default)")
+	deadline := fs.Duration("deadline", 0, "wall-clock deadline per scenario run (0: none)")
+	workers := fs.Int("workers", 0, "concurrent shards in flight (0: GOMAXPROCS; reports are identical for any value)")
+	maxRetries := fs.Int("max-retries", 2, "re-runs per scenario aborting on budget/deadline, under escalating limits")
+	csvPath := fs.String("csv", "", `write the per-scenario report as CSV to this file ("-" = stdout)`)
+	jsonlPath := fs.String("jsonl", "", `write the per-scenario report as JSONL to this file ("-" = stdout)`)
+	in := stimuli{}
+	fs.Var(in, "in", "input stimulus, e.g. 'i=0 r@1 f@2.5' (repeatable; default: constant zero)")
+	if err := fs.Parse(args); err != nil {
+		return sim.ExitUsage
+	}
+	if *file == "" {
+		return fatal(stderr, fmt.Errorf("-f <netlist> is required"))
+	}
+
+	f, err := os.Open(*file)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	doc, err := netlist.ParseDocument(f)
+	f.Close()
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	c, err := doc.Build()
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	inputs := map[string]signal.Signal{}
+	for _, name := range c.Inputs() {
+		if sig, ok := in[name]; ok {
+			inputs[name] = sig
+		} else {
+			inputs[name] = signal.Zero()
+		}
+	}
+	for name := range in {
+		if _, ok := inputs[name]; !ok {
+			return fatal(stderr, fmt.Errorf("stimulus for unknown input port %q", name))
+		}
+	}
+
+	ctx, stopSignals := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	reg := obs.NewRegistry()
+	coord, err := cf.coordinator(reg)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	defer coord.Close()
+
+	camp := &fault.Campaign{
+		Circuit:   c,
+		Inputs:    inputs,
+		Horizon:   *horizon,
+		MaxEvents: *maxEvents,
+		Deadline:  *deadline,
+		Seed:      *seed,
+	}
+	scenarios := fault.Grid(fault.Sites(c), overlayModels(*horizon))
+	fmt.Fprintf(stdout, "campaign grid: %d scenarios over circuit %s, seed %d\n", len(scenarios), c.Name, *seed)
+
+	eng := &fault.Engine{Campaign: camp, Opts: fault.Options{
+		Workers:    *workers,
+		MaxRetries: *maxRetries,
+		Registry:   reg,
+		Executor:   &cluster.CampaignExecutor{Coord: coord, Doc: doc, Inputs: inputs},
+	}}
+	rep, err := eng.Run(ctx, scenarios)
+	interrupted := errors.Is(err, fault.ErrInterrupted)
+	if err != nil && !interrupted {
+		return fatal(stderr, err)
+	}
+	if interrupted {
+		fmt.Fprintf(stderr, "simctl: %v — flushing partial report (%d/%d scenarios)\n",
+			err, len(rep.Rows), len(scenarios))
+	}
+	fmt.Fprint(stdout, rep.Format())
+	if err := writeReport(stdout, *csvPath, rep.WriteCSV); err != nil {
+		return fatal(stderr, err)
+	}
+	if err := writeReport(stdout, *jsonlPath, rep.WriteJSONL); err != nil {
+		return fatal(stderr, err)
+	}
+	clusterSummary(stdout, reg)
+	if interrupted {
+		return sim.ExitCanceled
+	}
+	return 0
+}
+
+// overlayModels builds the remotable campaign grid: SETs at four strike
+// times for each of four horizon-scaled widths, and stuck-at-0/1 at three
+// onsets. Wrapper faults (pushout/drop/dup) are deliberately absent — they
+// need in-process scheduler hooks and belong to the local faultsim.
+func overlayModels(horizon float64) []fault.Model {
+	var out []fault.Model
+	for _, frac := range []float64{0.05, 0.25, 0.5, 0.8} {
+		for _, wf := range []float64{1e-3, 1e-2, 5e-2, 0.1} {
+			out = append(out, fault.SET{At: frac * horizon, Width: wf * horizon})
+		}
+	}
+	for _, v := range []signal.Value{signal.High, signal.Low} {
+		for _, frac := range []float64{0, 0.25, 0.6} {
+			out = append(out, fault.StuckAt{V: v, From: frac * horizon})
+		}
+	}
+	return out
+}
+
+// clusterSummary prints the fleet-side counters of the run.
+func clusterSummary(w io.Writer, reg *obs.Registry) {
+	vals := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	fmt.Fprintf(w, "cluster: %.0f dispatched, %.0f hedges (%.0f wins), %.0f reschedules, %.0f attempt failures, %.0f remote cache hits\n",
+		vals["cluster_dispatch_total"], vals["cluster_hedge_total"], vals["cluster_hedge_win_total"],
+		vals["cluster_reschedule_total"], vals["cluster_attempt_failure_total"], vals["cluster_remote_cache_hit_total"])
+}
+
+// writeReport writes one report rendering to path ("-" = stdout, "" = skip).
+func writeReport(stdout io.Writer, path string, render func(w io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return render(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
+}
+
+func fatal(w io.Writer, err error) int {
+	fmt.Fprintln(w, "simctl:", err)
+	return 1
+}

@@ -56,6 +56,7 @@ func run() int {
 	workers := fs.Int("workers", 0, "simulation worker-pool size (default: GOMAXPROCS)")
 	queue := fs.Int("queue", 64, "queued-job bound; full queues reject submits with 503")
 	cacheSize := fs.Int("cache", 256, "result-cache entry bound (negative disables caching)")
+	advertise := fs.String("advertise", "", "address this node believes it serves on, echoed in /healthz and /version so coordinators can verify routing (default: none)")
 	jobsJSON := fs.String("jobs-json", "", "flush job records to this file as JSONL on shutdown")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound; stragglers are canceled after it")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -70,6 +71,7 @@ func run() int {
 		QueueDepth: *queue,
 		CacheSize:  *cacheSize,
 		Version:    version,
+		Advertise:  *advertise,
 	})
 	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
 

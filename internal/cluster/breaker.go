@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is a circuit breaker's position.
+type breakerState int
+
+const (
+	// breakerClosed: healthy, requests flow.
+	breakerClosed breakerState = iota
+	// breakerOpen: tripped, requests are refused until the cooldown ends.
+	breakerOpen
+	// breakerHalfOpen: cooldown over; one trial request probes recovery.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one node's circuit breaker. Threshold consecutive failures
+// trip it open; after Cooldown it admits a single trial (half-open) whose
+// outcome either closes it or re-opens it for another cooldown. The clock
+// is injectable so tests control time.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker tripped
+	trial    bool      // a half-open trial is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may proceed. In the half-open state only
+// the first caller gets through (the trial); the rest are refused until
+// the trial resolves.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// success records a completed request and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.trial = false
+}
+
+// failure records a failed request; it may trip the breaker.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// Failed trial: back to open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.trial = false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// current returns the state for metrics/snapshots.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker still closed after 3 failures")
+	}
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := newBreaker(3, time.Second, nil)
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("success should have reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.failure() // trip
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the half-open trial")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	// Failed trial: back to open, full cooldown again.
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker admitted a request right after a failed trial")
+	}
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the second trial after cooldown")
+	}
+	// Successful trial closes it for good.
+	b.success()
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", got)
+	}
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed breaker should admit freely")
+	}
+}

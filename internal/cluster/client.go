@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"involution/internal/sched"
+	"involution/internal/server/api"
+)
+
+// StatusError is a non-2xx simd response: the node answered, but refused.
+// The split between retryable (503 overload, 429) and terminal (400 bad
+// request, …) drives the client's retry ladder.
+type StatusError struct {
+	// Node is the base address that answered.
+	Node string
+	// Code is the HTTP status.
+	Code int
+	// Message is the server's error body, when it sent one.
+	Message string
+	// RetryAfter is the parsed Retry-After header (0: absent).
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.Code)
+	}
+	return fmt.Sprintf("cluster: %s: HTTP %d: %s", e.Node, e.Code, msg)
+}
+
+// Temporary reports whether the refusal is worth retrying on the same
+// node: overload and draining (503) and throttling (429) pass; client
+// errors do not.
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusServiceUnavailable || e.Code == http.StatusTooManyRequests
+}
+
+// Client is a typed simd protocol client for one logical fleet. It speaks
+// to base addresses ("host:port" or "http://host:port"); per-request
+// timeouts, capped exponential backoff with jitter, and Retry-After
+// honoring are built in. The zero value is not usable; use NewClient.
+type Client struct {
+	hc *http.Client
+	// timeout bounds each individual HTTP attempt.
+	timeout time.Duration
+	// retries is the transient-retry allowance per call (same node).
+	retries int
+	// backoff seeds per-call Backoff instances.
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	seed        int64
+}
+
+// NewClient returns a client issuing attempts bounded by timeout, with up
+// to retries same-node retries of transient failures. The seed fixes the
+// backoff jitter stream (tests pass a constant; production can pass
+// time.Now().UnixNano()).
+func NewClient(timeout time.Duration, retries int, seed int64) *Client {
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	return &Client{
+		hc:          &http.Client{},
+		timeout:     timeout,
+		retries:     retries,
+		backoffBase: 50 * time.Millisecond,
+		backoffMax:  2 * time.Second,
+		seed:        seed,
+	}
+}
+
+// baseURL normalizes a peer address to a URL prefix.
+func baseURL(node string) string {
+	if strings.HasPrefix(node, "http://") || strings.HasPrefix(node, "https://") {
+		return strings.TrimRight(node, "/")
+	}
+	return "http://" + node
+}
+
+// Submit posts req to node's POST /v1/jobs?wait=1 and returns the finished
+// job record. Transient refusals (503/429) and transport errors are
+// retried on the same node through the retry ladder, waiting the larger of
+// the backoff step and the server's Retry-After; terminal refusals (4xx)
+// and context cancellation return immediately.
+func (c *Client) Submit(ctx context.Context, node string, req api.Request) (api.Record, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.Record{}, fmt.Errorf("cluster: encoding request: %w", err)
+	}
+	var rec api.Record
+	err = c.do(ctx, node, func(actx context.Context) error {
+		return c.postJSON(actx, node, "/v1/jobs?wait=1", body, &rec)
+	})
+	return rec, err
+}
+
+// Health fetches node's GET /healthz.
+func (c *Client) Health(ctx context.Context, node string) (api.Health, error) {
+	var h api.Health
+	// Health is a probe: no retry ladder, one bounded attempt. A draining
+	// node answers 503 with a payload; surface both.
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	err := c.getJSON(actx, node, "/healthz", &h)
+	return h, err
+}
+
+// Version fetches node's GET /version, retrying transient failures.
+func (c *Client) Version(ctx context.Context, node string) (api.Version, error) {
+	var v api.Version
+	err := c.do(ctx, node, func(actx context.Context) error {
+		return c.getJSON(actx, node, "/version", &v)
+	})
+	return v, err
+}
+
+// do runs attempt through the retry ladder with backoff. attempt receives
+// a context bounded by the per-attempt timeout.
+func (c *Client) do(ctx context.Context, node string, attempt func(context.Context) error) error {
+	bo := sched.Backoff{
+		Base:   c.backoffBase,
+		Max:    c.backoffMax,
+		Jitter: 0.5,
+		Seed:   c.seed,
+	}
+	var last error
+	sched.Ladder{MaxRetries: c.retries}.Run(ctx, func(n int) sched.Verdict {
+		if n > 0 {
+			// A retry was granted: wait out the backoff, stretched to the
+			// server's Retry-After when it asked for more.
+			wait := bo.Next()
+			var se *StatusError
+			if asStatusError(last, &se) && se.RetryAfter > wait {
+				wait = se.RetryAfter
+			}
+			if !sleepCtx(ctx, wait) {
+				return sched.Done
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, c.timeout)
+		last = attempt(actx)
+		cancel()
+		if last == nil {
+			return sched.Done
+		}
+		if ctx.Err() != nil {
+			return sched.Done
+		}
+		var se *StatusError
+		if asStatusError(last, &se) && !se.Temporary() {
+			return sched.Done // 4xx: retrying cannot help
+		}
+		return sched.Retry
+	})
+	return last
+}
+
+func asStatusError(err error, out **StatusError) bool {
+	return errors.As(err, out)
+}
+
+// sleepCtx waits d or until ctx is done; it reports whether the full wait
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (c *Client) postJSON(ctx context.Context, node, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL(node)+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", node, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(node, req, out)
+}
+
+func (c *Client) getJSON(ctx context.Context, node, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL(node)+path, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", node, err)
+	}
+	return c.roundTrip(node, req, out)
+}
+
+// roundTrip executes the request and decodes a 2xx JSON body into out. A
+// non-2xx answer becomes a *StatusError carrying the server's error body
+// and Retry-After.
+func (c *Client) roundTrip(node string, req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: reading response: %w", node, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		se := &StatusError{Node: node, Code: resp.StatusCode}
+		var eb api.ErrorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			se.Message = eb.Error
+		} else if len(raw) > 0 {
+			se.Message = strings.TrimSpace(string(raw))
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return se
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("cluster: %s: decoding response: %w", node, err)
+	}
+	return nil
+}

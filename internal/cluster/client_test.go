@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"involution/internal/server"
+	"involution/internal/server/api"
+)
+
+const bufNetlist = "circuit chain\ninput i\noutput o\ngate g BUF init=0\nchannel i g 0 pure d=1\nchannel g o 0 zero\n"
+
+// startNode runs a real simd server over httptest and returns its base
+// address (host:port).
+func startNode(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	s := server.New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Drain(5 * time.Second)
+	})
+	return hs.Listener.Addr().String()
+}
+
+func TestClientSubmitWaitRoundTrip(t *testing.T) {
+	addr := startNode(t, server.Config{})
+	c := NewClient(10*time.Second, 0, 1)
+	rec, err := c.Submit(context.Background(), addr, api.Request{Netlist: bufNetlist, Horizon: 10})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if rec.Status != api.StatusCompleted {
+		t.Fatalf("status = %s, want completed", rec.Status)
+	}
+	var p api.ResultPayload
+	if err := json.Unmarshal(rec.Result, &p); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if p.Outputs["o"] == "" {
+		t.Fatalf("payload has no output signal: %+v", p)
+	}
+}
+
+func TestClientTerminalOn400(t *testing.T) {
+	addr := startNode(t, server.Config{})
+	c := NewClient(5*time.Second, 3, 1)
+	_, err := c.Submit(context.Background(), addr, api.Request{Netlist: "not a netlist"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if se.Temporary() {
+		t.Fatal("400 must not be Temporary")
+	}
+}
+
+// TestClientRetriesTransient503 fronts the client with a handler that
+// refuses twice with Retry-After before delegating to a real node, and
+// checks the ladder rides through.
+func TestClientRetriesTransient503(t *testing.T) {
+	addr := startNode(t, server.Config{})
+	var refusals atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if refusals.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.ErrorBody{Error: "queue full"})
+			return
+		}
+		r2, _ := http.NewRequest(r.Method, "http://"+addr+r.URL.RequestURI(), r.Body)
+		r2.Header = r.Header
+		resp, err := http.DefaultClient.Do(r2)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			t.Logf("proxy copy: %v", err)
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	c := NewClient(5*time.Second, 3, 42)
+	c.backoffBase = time.Millisecond // keep the test fast
+	rec, err := c.Submit(context.Background(), proxy.Listener.Addr().String(),
+		api.Request{Netlist: bufNetlist, Horizon: 10})
+	if err != nil {
+		t.Fatalf("Submit through flaky proxy: %v", err)
+	}
+	if rec.Status != api.StatusCompleted {
+		t.Fatalf("status = %s, want completed", rec.Status)
+	}
+	if got := refusals.Load(); got != 3 {
+		t.Fatalf("proxy saw %d requests, want 3 (2 refusals + 1 success)", got)
+	}
+}
+
+func TestClientNoRetryBudgetSurfaces503(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	c := NewClient(2*time.Second, 0, 1)
+	_, err := c.Submit(context.Background(), srv.Listener.Addr().String(), api.Request{Netlist: bufNetlist})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want StatusError 503", err)
+	}
+	if !se.Temporary() {
+		t.Fatal("503 must be Temporary")
+	}
+}
+
+func TestClientHealthAndVersion(t *testing.T) {
+	addr := startNode(t, server.Config{Advertise: "advertised:1234", Version: "test-v1"})
+	c := NewClient(2*time.Second, 0, 1)
+	h, err := c.Health(context.Background(), addr)
+	if err != nil || h.Status != "ok" || h.Advertise != "advertised:1234" {
+		t.Fatalf("Health = %+v, %v", h, err)
+	}
+	v, err := c.Version(context.Background(), addr)
+	if err != nil || v.Service != "simd" || v.Version != "test-v1" || v.Advertise != "advertised:1234" {
+		t.Fatalf("Version = %+v, %v", v, err)
+	}
+}
+
+func TestClientConnectionRefused(t *testing.T) {
+	c := NewClient(time.Second, 0, 1)
+	_, err := c.Submit(context.Background(), "127.0.0.1:1", api.Request{Netlist: bufNetlist})
+	if err == nil {
+		t.Fatal("Submit to a dead address should fail")
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("transport failure should not be a StatusError: %v", err)
+	}
+}

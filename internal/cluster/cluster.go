@@ -1,0 +1,110 @@
+// Package cluster shards simulation campaigns and parameter sweeps over a
+// fleet of simd nodes, speaking the unmodified simd wire protocol
+// (internal/server/api). It is the coordinator half of the
+// simulation-as-a-service story: cmd/simd owns one machine's worker pool
+// and result cache; cluster owns the fan-out across machines.
+//
+// The design leans on three properties the rest of the repository already
+// guarantees:
+//
+//   - Content addressing. Every request has a deterministic content key
+//     (api.Request.RouteKey), and completed simd results are byte-identical
+//     functions of the canonical request. Routing a request by its content
+//     key (consistent hashing, see Ring) therefore sends repeat work to the
+//     node that already holds the cached result.
+//
+//   - Determinism. Because each shard's result depends only on the request,
+//     the coordinator can reassemble shards in submission order and produce
+//     output byte-identical to a single-node run — for any node count and
+//     any failure interleaving (Coordinator.Run collects by index, never by
+//     arrival order).
+//
+//   - Typed failure. Node failures (connection refused, 503s, timeouts)
+//     are infrastructure errors, retried on other nodes via the shared
+//     sched.Ladder; simulation aborts (budget, deadline, panic) are payload
+//     outcomes, returned to the caller untouched.
+//
+// The health prober (Prober) drives a per-node circuit breaker: nodes that
+// fail their probes are drained from the ring and their in-flight shards
+// rescheduled on survivors; recovered nodes re-enter through a half-open
+// trial. Slow nodes are hedged: when a shard's first attempt outlives the
+// hedge delay, a duplicate is sent to the next node in the shard's
+// preference order and the first result wins.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"involution/internal/obs"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Peers are the simd node base addresses ("host:port" or full URLs).
+	Peers []string
+	// Timeout bounds each HTTP attempt (default 2 minutes).
+	Timeout time.Duration
+	// Hedge is the straggler delay: an attempt older than this gets a
+	// duplicate on the next preferred node (0 disables hedging).
+	Hedge time.Duration
+	// Retries is the per-shard reschedule allowance across distinct nodes
+	// (default: len(Peers)-1, i.e. try every node once).
+	Retries int
+	// NodeInFlight caps concurrent requests per node (default 4).
+	NodeInFlight int
+	// ProbeInterval is the health-prober period (default 1s; negative
+	// disables the background prober).
+	ProbeInterval time.Duration
+	// BreakerThreshold trips a node's breaker after that many consecutive
+	// failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped node rests before a half-open
+	// trial (default 5s).
+	BreakerCooldown time.Duration
+	// Registry receives the cluster_* metrics (nil: metrics are dropped).
+	Registry *obs.Registry
+}
+
+// withDefaults returns a copy with unset knobs at their defaults.
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	if o.Retries <= 0 {
+		o.Retries = len(o.Peers) - 1
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.NodeInFlight <= 0 {
+		o.NodeInFlight = 4
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if len(o.Peers) == 0 {
+		return fmt.Errorf("cluster: no peers")
+	}
+	seen := make(map[string]bool, len(o.Peers))
+	for _, p := range o.Peers {
+		if p == "" {
+			return fmt.Errorf("cluster: empty peer address")
+		}
+		if seen[p] {
+			return fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"involution/internal/obs"
+	"involution/internal/sched"
+	"involution/internal/server/api"
+)
+
+// ErrNoNodes reports that every node was unavailable (breaker open or
+// draining) when a shard needed one.
+var ErrNoNodes = errors.New("cluster: no available nodes")
+
+// node is one simd peer's coordinator-side state.
+type node struct {
+	addr     string
+	br       *breaker
+	sem      chan struct{} // bounds in-flight requests to this node
+	healthy  *obs.Gauge
+	inflight *obs.Gauge
+}
+
+func (n *node) acquire(ctx context.Context) error {
+	select {
+	case n.sem <- struct{}{}:
+		gaugeAdd(n.inflight, 1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (n *node) release() {
+	<-n.sem
+	gaugeAdd(n.inflight, -1)
+}
+
+// Coordinator shards work over a fleet of simd nodes: consistent-hash
+// routing for cache affinity, per-node circuit breakers fed by a health
+// prober and by request outcomes, hedged retries for stragglers, and
+// rescheduling of failed shards onto surviving nodes. Results come back
+// indexed by submission order, so merged output is deterministic for any
+// node count and failure interleaving.
+type Coordinator struct {
+	opts     Options
+	client   *Client
+	ring     *Ring
+	nodes    map[string]*node
+	met      *metrics
+	mismatch *obs.Counter
+
+	stopProbe func()
+	probeDone chan struct{}
+	closeOnce sync.Once
+}
+
+// NewCoordinator validates opts, builds the ring, and starts the health
+// prober (unless opts.ProbeInterval < 0). Close releases the prober.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:   opts,
+		client: NewClient(opts.Timeout, 1, int64(keyHash(fmt.Sprint(opts.Peers)))),
+		ring:   NewRing(opts.Peers),
+		nodes:  make(map[string]*node, len(opts.Peers)),
+		met:    newMetrics(opts.Registry),
+	}
+	if opts.Registry != nil {
+		c.mismatch = opts.Registry.Counter("cluster_advertise_mismatch_total",
+			"health probes answered by a node advertising a different address than routed")
+	}
+	for _, addr := range opts.Peers {
+		n := &node{
+			addr: addr,
+			br:   newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, nil),
+			sem:  make(chan struct{}, opts.NodeInFlight),
+		}
+		n.healthy = c.met.nodeHealthy(addr)
+		n.inflight = c.met.nodeInFlight(addr)
+		gaugeSet(n.healthy, 1)
+		c.nodes[addr] = n
+	}
+	if opts.ProbeInterval > 0 {
+		pctx, cancel := context.WithCancel(context.Background())
+		c.stopProbe = cancel
+		c.probeDone = make(chan struct{})
+		go c.probeLoop(pctx)
+	}
+	return c, nil
+}
+
+// Close stops the health prober. In-flight Run calls are unaffected.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		if c.stopProbe != nil {
+			c.stopProbe()
+			<-c.probeDone
+		}
+	})
+}
+
+// probeLoop polls every node's /healthz and feeds the breakers, so dead
+// nodes trip open without burning a shard attempt and recovered nodes
+// rejoin without waiting for live traffic to probe them.
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	defer close(c.probeDone)
+	t := time.NewTicker(c.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, n := range c.nodes {
+			h, err := c.client.Health(ctx, n.addr)
+			if ctx.Err() != nil {
+				return
+			}
+			if err != nil || h.Status != "ok" {
+				n.br.failure()
+			} else {
+				n.br.success()
+				if h.Advertise != "" && h.Advertise != n.addr && c.mismatch != nil {
+					c.mismatch.Inc()
+				}
+			}
+			gaugeSet(n.healthy, boolGauge(n.br.current() == breakerClosed))
+		}
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// pick returns the first breaker-admitted node scanning the preference
+// order from index start (wrapping), and the index it was found at.
+// (nil, -1) means nothing is available right now.
+func (c *Coordinator) pick(prefs []string, start int) (*node, int) {
+	for i := 0; i < len(prefs); i++ {
+		idx := (start + i) % len(prefs)
+		n := c.nodes[prefs[idx]]
+		if n.br.allow() {
+			return n, idx
+		}
+	}
+	return nil, -1
+}
+
+// peek returns the next node after index at that WOULD be admitted,
+// without consuming a half-open trial slot — the hedge partner. Only
+// closed breakers qualify: hedging into a recovering node would burn its
+// trial on a duplicate.
+func (c *Coordinator) peek(prefs []string, after int) *node {
+	for i := 1; i < len(prefs); i++ {
+		n := c.nodes[prefs[(after+i)%len(prefs)]]
+		if n.br.current() == breakerClosed {
+			return n
+		}
+	}
+	return nil
+}
+
+// Run dispatches every request and returns the finished records in
+// request order — the deterministic merge: recs[i] corresponds to reqs[i]
+// no matter which node answered it, when, or after how many reschedules.
+// workers <= 0 defaults to fleet capacity (nodes × NodeInFlight; hedges
+// need the headroom the per-node semaphores already enforce).
+//
+// On error the partial records are still returned; recs[i] is the zero
+// Record for shards that failed or were never dispatched.
+func (c *Coordinator) Run(ctx context.Context, reqs []api.Request, workers int) ([]api.Record, error) {
+	if workers <= 0 {
+		workers = len(c.nodes) * c.opts.NodeInFlight
+	}
+	recs := make([]api.Record, len(reqs))
+	errs := make([]error, len(reqs))
+	ferr := sched.ForEach(ctx, workers, len(reqs), func(i int) {
+		recs[i], errs[i] = c.RunOne(ctx, reqs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return recs, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	return recs, ferr
+}
+
+// RunOne routes one request by its content key and returns the finished
+// record. Node failures reschedule the shard onto the next node in its
+// preference order through the shared sched.Ladder; request errors (4xx)
+// are terminal. Stragglers are hedged onto the next closed-breaker node.
+func (c *Coordinator) RunOne(ctx context.Context, req api.Request) (api.Record, error) {
+	key := req.RouteKey()
+	prefs := c.ring.Order(key)
+	retries := c.opts.Retries
+	bo := sched.Backoff{
+		Base:   20 * time.Millisecond,
+		Max:    time.Second,
+		Jitter: 0.5,
+		Seed:   int64(keyHash(key)),
+	}
+
+	start := time.Now()
+	var rec api.Record
+	var lastErr error
+	cursor := 0
+	sched.Ladder{MaxRetries: retries}.Run(ctx, func(n int) sched.Verdict {
+		if n > 0 {
+			c.met.incRetry()
+			if bo.Sleep(ctx) != nil {
+				return sched.Done
+			}
+		}
+		primary, idx := c.pick(prefs, cursor)
+		if primary == nil {
+			lastErr = ErrNoNodes
+			return sched.Retry // breakers may close after a cooldown
+		}
+		cursor = idx + 1 // a reschedule starts at the next distinct node
+		rec, lastErr = c.attempt(ctx, primary, c.peek(prefs, idx), req)
+		switch {
+		case lastErr == nil:
+			return sched.Done
+		case ctx.Err() != nil:
+			return sched.Done
+		case isTerminalRequestError(lastErr):
+			return sched.Done // another node would refuse identically
+		default:
+			return sched.Retry
+		}
+	})
+	if lastErr != nil {
+		return api.Record{}, lastErr
+	}
+	c.met.observeLatency(time.Since(start).Seconds())
+	if rec.Cached {
+		c.met.incRemoteHit()
+	}
+	return rec, nil
+}
+
+// isTerminalRequestError reports a refusal that is a property of the
+// request, not the node — rescheduling cannot help.
+func isTerminalRequestError(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code >= 400 && se.Code < 500 &&
+		se.Code != http.StatusTooManyRequests
+}
+
+// attempt submits req to primary, hedging a duplicate onto partner when
+// the primary outlives the hedge delay. The first success wins and
+// cancels the loser; breaker bookkeeping ignores the loser's induced
+// cancellation.
+func (c *Coordinator) attempt(ctx context.Context, primary, partner *node, req api.Request) (api.Record, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		rec    api.Record
+		err    error
+		nd     *node
+		hedged bool
+	}
+	results := make(chan outcome, 2)
+	launch := func(nd *node, hedged bool) {
+		go func() {
+			if err := nd.acquire(actx); err != nil {
+				results <- outcome{err: err, nd: nd, hedged: hedged}
+				return
+			}
+			defer nd.release()
+			rec, err := c.client.Submit(actx, nd.addr, req)
+			results <- outcome{rec: rec, err: err, nd: nd, hedged: hedged}
+		}()
+	}
+
+	c.met.incDispatch()
+	launch(primary, false)
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if c.opts.Hedge > 0 && partner != nil {
+		hedgeTimer = time.NewTimer(c.opts.Hedge)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	pending := 1
+	var firstErr error
+	for pending > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			c.met.incHedge()
+			pending++
+			launch(partner, true)
+		case o := <-results:
+			pending--
+			induced := actx.Err() != nil && ctx.Err() == nil
+			if o.err == nil {
+				o.nd.br.success()
+				gaugeSet(o.nd.healthy, 1)
+				if o.hedged {
+					c.met.incHedgeWin()
+				}
+				cancel() // the race is decided; reel in the loser
+				return o.rec, nil
+			}
+			if !induced && !errors.Is(o.err, context.Canceled) {
+				o.nd.br.failure()
+				gaugeSet(o.nd.healthy, boolGauge(o.nd.br.current() == breakerClosed))
+				c.met.incFailure()
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+		}
+	}
+	return api.Record{}, firstErr
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"involution/internal/obs"
+	"involution/internal/server"
+	"involution/internal/server/api"
+)
+
+// sweepRequests builds n distinct well-formed jobs (distinct seeds defeat
+// result caches, so every shard really runs).
+func sweepRequests(n int) []api.Request {
+	reqs := make([]api.Request, n)
+	for i := range reqs {
+		reqs[i] = api.Request{Netlist: bufNetlist, Horizon: 10, Seed: int64(i + 1)}
+	}
+	return reqs
+}
+
+// resultsOf projects records onto their deterministic part: the result
+// payloads in shard order. Record IDs and timestamps legitimately differ
+// between runs; payloads must not.
+func resultsOf(t *testing.T, recs []api.Record) string {
+	t.Helper()
+	var b strings.Builder
+	for i, r := range recs {
+		if r.Status != api.StatusCompleted {
+			t.Fatalf("shard %d: status %s (class %s, error %s)", i, r.Status, r.Class, r.Error)
+		}
+		fmt.Fprintf(&b, "%d %s %s\n", i, r.Hash, r.Result)
+	}
+	return b.String()
+}
+
+func newTestCoordinator(t *testing.T, opts Options) *Coordinator {
+	t.Helper()
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = -1 // deterministic tests drive breakers via requests
+	}
+	c, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestCoordinatorMergeDeterministicAcrossNodeCounts is the core
+// determinism contract: the merged results of a sharded run are
+// byte-identical for 1, 2 and 4 nodes.
+func TestCoordinatorMergeDeterministicAcrossNodeCounts(t *testing.T) {
+	reqs := sweepRequests(12)
+	var want string
+	for _, nodes := range []int{1, 2, 4} {
+		peers := make([]string, nodes)
+		for i := range peers {
+			peers[i] = startNode(t, server.Config{})
+		}
+		c := newTestCoordinator(t, Options{Peers: peers, Timeout: 30 * time.Second})
+		recs, err := c.Run(context.Background(), reqs, 0)
+		if err != nil {
+			t.Fatalf("%d nodes: Run: %v", nodes, err)
+		}
+		got := resultsOf(t, recs)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("%d-node merge differs from 1-node reference:\n%s\nvs\n%s", nodes, got, want)
+		}
+	}
+}
+
+// TestCoordinatorReschedulesAroundDeadNode points half the fleet at an
+// address nothing listens on: every shard routed there must fail over to
+// the survivor and the merged output must match an all-healthy reference.
+func TestCoordinatorReschedulesAroundDeadNode(t *testing.T) {
+	healthy := startNode(t, server.Config{})
+	// Reserve a port and close the listener: connections are refused fast.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	reqs := sweepRequests(10)
+	ref := newTestCoordinator(t, Options{Peers: []string{healthy}, Timeout: 30 * time.Second})
+	wantRecs, err := ref.Run(context.Background(), reqs, 0)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := resultsOf(t, wantRecs)
+
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{
+		Peers:            []string{healthy, dead},
+		Timeout:          30 * time.Second,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute, // once tripped, stays drained for the test
+		Registry:         reg,
+	})
+	recs, err := c.Run(context.Background(), reqs, 0)
+	if err != nil {
+		t.Fatalf("Run with dead node: %v", err)
+	}
+	if got := resultsOf(t, recs); got != want {
+		t.Fatalf("merge with dead node differs from healthy reference:\n%s\nvs\n%s", got, want)
+	}
+	if v := metricValue(t, reg, "cluster_reschedule_total"); v == 0 {
+		t.Fatal("expected at least one reschedule off the dead node")
+	}
+	if v := metricValue(t, reg, "cluster_node_healthy_"+sanitizeMetricName(dead)); v != 0 {
+		t.Fatalf("dead node still marked healthy (gauge %v)", v)
+	}
+}
+
+// TestCoordinatorHedgeWinsOverStraggler wires a node that hangs forever
+// and one that answers; a shard whose preferred node is the straggler
+// must be rescued by its hedge.
+func TestCoordinatorHedgeWinsOverStraggler(t *testing.T) {
+	healthy := startNode(t, server.Config{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Consume the body so net/http watches for client disconnect and
+		// cancels the request context when the hedge winner reels us in.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // straggle until the coordinator gives up
+	}))
+	t.Cleanup(hang.Close)
+	slow := hang.Listener.Addr().String()
+
+	ring := NewRing([]string{healthy, slow})
+	// Find a request the ring routes to the straggler first.
+	var req api.Request
+	for seed := int64(1); ; seed++ {
+		req = api.Request{Netlist: bufNetlist, Horizon: 10, Seed: seed}
+		if ring.Owner(req.RouteKey()) == slow {
+			break
+		}
+		if seed > 10_000 {
+			t.Fatal("no key prefers the slow node; ring broken")
+		}
+	}
+
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{
+		Peers:    []string{healthy, slow},
+		Timeout:  30 * time.Second,
+		Hedge:    100 * time.Millisecond,
+		Registry: reg,
+	})
+	start := time.Now()
+	rec, err := c.RunOne(context.Background(), req)
+	if err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	if rec.Status != api.StatusCompleted {
+		t.Fatalf("status = %s, want completed", rec.Status)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hedge took %v; straggler was not hedged", elapsed)
+	}
+	if v := metricValue(t, reg, "cluster_hedge_total"); v != 1 {
+		t.Fatalf("cluster_hedge_total = %v, want 1", v)
+	}
+	if v := metricValue(t, reg, "cluster_hedge_win_total"); v != 1 {
+		t.Fatalf("cluster_hedge_win_total = %v, want 1", v)
+	}
+}
+
+// TestCoordinatorCacheAffinity runs the same sweep twice on two nodes and
+// checks the repeats are remote cache hits — the consistent-hash routing
+// sent each key back to the node that computed it.
+func TestCoordinatorCacheAffinity(t *testing.T) {
+	peers := []string{startNode(t, server.Config{}), startNode(t, server.Config{})}
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{Peers: peers, Timeout: 30 * time.Second, Registry: reg})
+	reqs := sweepRequests(8)
+	if _, err := c.Run(context.Background(), reqs, 0); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if v := metricValue(t, reg, "cluster_remote_cache_hit_total"); v != 0 {
+		t.Fatalf("first run should be all cache misses, got %v hits", v)
+	}
+	recs, err := c.Run(context.Background(), reqs, 0)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	for i, r := range recs {
+		if !r.Cached {
+			t.Fatalf("shard %d not served from cache on repeat run", i)
+		}
+	}
+	if v := metricValue(t, reg, "cluster_remote_cache_hit_total"); v != float64(len(reqs)) {
+		t.Fatalf("cluster_remote_cache_hit_total = %v, want %d", v, len(reqs))
+	}
+}
+
+// TestCoordinatorTerminalRequestError checks a 400 is not retried across
+// nodes (it is a property of the request).
+func TestCoordinatorTerminalRequestError(t *testing.T) {
+	peers := []string{startNode(t, server.Config{}), startNode(t, server.Config{})}
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{Peers: peers, Timeout: 10 * time.Second, Registry: reg})
+	_, err := c.RunOne(context.Background(), api.Request{Netlist: "garbage"})
+	if err == nil {
+		t.Fatal("malformed netlist should fail")
+	}
+	if v := metricValue(t, reg, "cluster_reschedule_total"); v != 0 {
+		t.Fatalf("400 was rescheduled %v times; terminal errors must not move nodes", v)
+	}
+}
+
+func metricValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %s not in snapshot", name)
+	return 0
+}

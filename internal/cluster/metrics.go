@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"strings"
+
+	"involution/internal/obs"
+)
+
+// metrics is the cluster_* instrument set on a shared obs.Registry. The
+// registry has no label support, so per-node instruments carry a sanitized
+// address suffix (cluster_node_healthy_127_0_0_1_8080).
+type metrics struct {
+	reg *obs.Registry
+
+	dispatches *obs.Counter // shards dispatched (first attempts)
+	hedges     *obs.Counter // duplicate attempts launched on stragglers
+	hedgeWins  *obs.Counter // hedged duplicates that finished first
+	retries    *obs.Counter // shard reschedules onto another node
+	failures   *obs.Counter // attempts that failed (transport or 5xx)
+	remoteHits *obs.Counter // shards answered from a node's result cache
+	latency    *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		reg:        reg,
+		dispatches: reg.Counter("cluster_dispatch_total", "shards dispatched to nodes (first attempts)"),
+		hedges:     reg.Counter("cluster_hedge_total", "hedged duplicate attempts launched on stragglers"),
+		hedgeWins:  reg.Counter("cluster_hedge_win_total", "hedged duplicates that beat the original attempt"),
+		retries:    reg.Counter("cluster_reschedule_total", "shards rescheduled onto another node after a failure"),
+		failures:   reg.Counter("cluster_attempt_failure_total", "shard attempts failed (transport error or refusal)"),
+		remoteHits: reg.Counter("cluster_remote_cache_hit_total", "shards answered from a node's content-addressed result cache"),
+		latency: reg.Histogram("cluster_shard_latency_seconds", "per-shard wall time, submission to accepted result",
+			obs.ExpBuckets(0.001, 2, 16)),
+	}
+}
+
+// The per-event helpers are nil-safe so a Coordinator without a registry
+// pays nothing.
+func (m *metrics) incDispatch() {
+	if m != nil {
+		m.dispatches.Inc()
+	}
+}
+
+func (m *metrics) incHedge() {
+	if m != nil {
+		m.hedges.Inc()
+	}
+}
+
+func (m *metrics) incHedgeWin() {
+	if m != nil {
+		m.hedgeWins.Inc()
+	}
+}
+
+func (m *metrics) incRetry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *metrics) incFailure() {
+	if m != nil {
+		m.failures.Inc()
+	}
+}
+
+func (m *metrics) incRemoteHit() {
+	if m != nil {
+		m.remoteHits.Inc()
+	}
+}
+
+func (m *metrics) observeLatency(sec float64) {
+	if m != nil {
+		m.latency.Observe(sec)
+	}
+}
+
+// nodeHealthy returns (claiming on first use) the per-node health gauge:
+// 1 healthy, 0 broken/draining.
+func (m *metrics) nodeHealthy(node string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("cluster_node_healthy_"+sanitizeMetricName(node),
+		"node availability: 1 healthy, 0 tripped or draining")
+}
+
+// nodeInFlight returns the per-node in-flight gauge.
+func (m *metrics) nodeInFlight(node string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("cluster_node_inflight_"+sanitizeMetricName(node),
+		"requests currently in flight to the node")
+}
+
+// sanitizeMetricName maps an address to a legal metric-name suffix:
+// anything outside [a-zA-Z0-9_] becomes '_'.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// gaugeSet is a nil-safe Set.
+func gaugeSet(g *obs.Gauge, v float64) {
+	if g != nil {
+		g.Set(v)
+	}
+}
+
+// gaugeAdd is a nil-safe Add.
+func gaugeAdd(g *obs.Gauge, d float64) {
+	if g != nil {
+		g.Add(d)
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"involution/internal/netlist"
+	"involution/internal/spf"
+)
+
+// SPFNetlist renders the Fig. 5 SPF circuit (reference parametrization,
+// dimensioned buffer) as a netlist document, with the loop channel driven
+// by the named adversary (zero|worst|maxup|uniform|walk; seed feeds the
+// randomized ones). The statements follow spf.Build's insertion order
+// exactly, so the built circuit ties events identically to the in-memory
+// construction. Because the document carries every parameter — including
+// the adversary seed — it is a complete, content-addressable description
+// of the experiment, which is what lets a simd fleet run Theorem 9 sweeps
+// remotely (see internal/cluster).
+//
+// Randomized adversaries differ from SETFilteringSweep in one documented
+// way: the local sweep shares a single rng across every channel instance
+// and run, while a netlist run seeds a fresh rng per channel instance.
+// Both are deterministic; they are just different experiments.
+func SPFNetlist(adv string, seed int64) (*netlist.Document, *spf.System, error) {
+	loop, err := referenceChannel()
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := spf.NewSystem(loop)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	loopCh := []string{
+		"channel", spf.NodeOr, spf.NodeOr, "1", "exp",
+		"tau=" + g(ReferenceExp.Tau), "tp=" + g(ReferenceExp.TP), "vth=" + g(ReferenceExp.Vth),
+		"eta+=" + g(ReferenceEta.Plus), "eta-=" + g(ReferenceEta.Minus),
+	}
+	switch adv {
+	case "", "zero":
+	case "worst", "maxup":
+		loopCh = append(loopCh, "adversary="+adv)
+	case "uniform", "walk":
+		loopCh = append(loopCh, "adversary="+adv, "seed="+strconv.FormatInt(seed, 10))
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown adversary %q", adv)
+	}
+
+	d := &netlist.Document{Name: "spf"}
+	add := func(fields ...string) { d.Stmts = append(d.Stmts, netlist.Stmt{Fields: fields}) }
+	add("input", spf.NodeIn)
+	add("output", spf.NodeOut)
+	add("gate", spf.NodeOr, "OR2", "init=0")
+	add("gate", spf.NodeHT, "BUF", "init=0")
+	add("channel", spf.NodeIn, spf.NodeOr, "0", "zero")
+	d.Stmts = append(d.Stmts, netlist.Stmt{Fields: loopCh})
+	add("channel", spf.NodeOr, spf.NodeHT, "0", "exp",
+		"tau="+g(sys.Buffer.Tau), "tp="+g(sys.Buffer.TP), "vth="+g(sys.Buffer.Vth))
+	add("channel", spf.NodeHT, spf.NodeOut, "0", "zero")
+	return d, sys, nil
+}

@@ -204,7 +204,7 @@ func (c *Campaign) runScenario(sc Scenario, seed int64, opts sim.Options, base *
 	row.Scheduled = res.Stats.Scheduled
 	row.Delivered = res.Stats.Delivered
 	row.Canceled = res.Stats.Canceled
-	row.Outcome = classify(base, res, outputs, probes).String()
+	row.Outcome = classify(base.Signals, res.Signals, outputs, probes).String()
 	return row
 }
 
@@ -218,12 +218,14 @@ func scenarioSeed(seed int64, id int) int64 {
 	return int64(x)
 }
 
-// classify compares a completed fault run against the baseline.
-func classify(base, res *sim.Result, outputs, probes []string) Outcome {
+// classify compares a completed fault run's recorded signals against the
+// baseline's. It works on plain signal maps so remote runs — which return
+// signals without a local sim.Result — classify through the same code.
+func classify(base, res map[string]signal.Signal, outputs, probes []string) Outcome {
 	outsEqual := true
 	finalsEqual := true
 	for _, name := range outputs {
-		b, f := base.Signals[name], res.Signals[name]
+		b, f := base[name], res[name]
 		if !sigEqual(b, f) {
 			outsEqual = false
 		}
@@ -238,7 +240,7 @@ func classify(base, res *sim.Result, outputs, probes []string) Outcome {
 		return Propagated
 	}
 	for _, name := range probes {
-		if !sigEqual(base.Signals[name], res.Signals[name]) {
+		if !sigEqual(base[name], res[name]) {
 			return Filtered
 		}
 	}

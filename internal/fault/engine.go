@@ -40,6 +40,11 @@ type Options struct {
 	// Registry, when non-nil, receives live engine metrics: completed /
 	// replayed / retried scenario counters and an attempts histogram.
 	Registry *obs.Registry
+	// Executor, when non-nil, runs remotable scenarios (overlay faults)
+	// somewhere else — e.g. a simd fleet via cluster.CampaignExecutor.
+	// Scenarios the executor rejects with ErrNotRemotable (wrapper faults)
+	// transparently run locally. The baseline always runs locally.
+	Executor Executor
 }
 
 // ErrInterrupted reports that the engine's context was canceled before
@@ -269,7 +274,7 @@ func (e *Engine) runAttempts(ctx context.Context, eopts Options, sc Scenario, op
 		aopts := opts
 		aopts.MaxEvents = budget
 		aopts.Deadline = deadline
-		row = e.Campaign.runScenario(sc, seed, aopts, base, outputs, probes)
+		row = e.Campaign.runScenarioWith(ctx, eopts.Executor, sc, seed, aopts, base, outputs, probes)
 		row.Attempts = attempt + 1
 		lastClass = sim.Class(row.Abort)
 		retryable := lastClass == sim.ClassBudget || lastClass == sim.ClassDeadline

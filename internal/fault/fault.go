@@ -60,6 +60,31 @@ func Sites(c *circuit.Circuit) []Site {
 	return out
 }
 
+// Overlay is the netlist-expressible description of an overlay fault: the
+// synthetic gate and the control stimulus that drive it. It is everything
+// a remote executor needs to re-create Instrument's circuit rewrite at the
+// netlist-document level (see internal/cluster).
+type Overlay struct {
+	// Gate combines the site's value (pin 0) with the control signal
+	// (pin 1); its Name is the canonical netlist spelling (XOR2, OR2, …).
+	Gate gate.Func
+	// Ctl is the stimulus driving the control input.
+	Ctl signal.Signal
+}
+
+// OverlayFault is implemented by models whose injection is a pure circuit
+// rewrite (SET, StuckAt) and can therefore run on a remote simulator that
+// only accepts netlists. Wrapper faults (DelayPushout, Drop, Dup) perturb
+// the scheduler in-memory and deliberately do not implement it.
+type OverlayFault interface {
+	Model
+	// Overlay returns the model's gate and control stimulus for the site.
+	// It must consume randomness from rng exactly as Instrument does, so a
+	// remote re-creation of the scenario matches the local one under the
+	// same seed.
+	Overlay(s Site, rng *rand.Rand) (Overlay, error)
+}
+
 // Model is a parametrized fault model.
 type Model interface {
 	// String names the model with its parameters (used in reports).

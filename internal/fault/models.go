@@ -34,13 +34,13 @@ func (f SET) String() string {
 // AppliesTo reports true: a transient can strike any edge.
 func (f SET) AppliesTo(Site) bool { return true }
 
-// Instrument injects the transient at the site.
-func (f SET) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, rng *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+// Overlay returns the XOR overlay: control high during the strike window.
+func (f SET) Overlay(_ Site, rng *rand.Rand) (Overlay, error) {
 	if !(f.At >= 0) || math.IsInf(f.At, 0) {
-		return nil, nil, fmt.Errorf("fault: %s: strike time must be finite and ≥ 0", f)
+		return Overlay{}, fmt.Errorf("fault: %s: strike time must be finite and ≥ 0", f)
 	}
 	if !(f.Width > 0) || math.IsInf(f.Width, 0) {
-		return nil, nil, fmt.Errorf("fault: %s: width must be finite and > 0", f)
+		return Overlay{}, fmt.Errorf("fault: %s: width must be finite and > 0", f)
 	}
 	at := f.At
 	if f.Jitter > 0 {
@@ -48,9 +48,18 @@ func (f SET) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Sig
 	}
 	ctl, err := signal.Pulse(at, f.Width)
 	if err != nil {
+		return Overlay{}, err
+	}
+	return Overlay{Gate: gate.Xor(2), Ctl: ctl}, nil
+}
+
+// Instrument injects the transient at the site.
+func (f SET) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, rng *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	ov, err := f.Overlay(s, rng)
+	if err != nil {
 		return nil, nil, err
 	}
-	return overlay(c, s, inputs, gate.Xor(2), ctl)
+	return overlay(c, s, inputs, ov.Gate, ov.Ctl)
 }
 
 // StuckAt forces the target edge to the value V from time From on —
@@ -67,10 +76,11 @@ func (f StuckAt) String() string { return fmt.Sprintf("stuck-at-%v(t=%g)", f.V, 
 // AppliesTo reports true: any edge can be stuck.
 func (f StuckAt) AppliesTo(Site) bool { return true }
 
-// Instrument injects the stuck-at fault at the site.
-func (f StuckAt) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, _ *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+// Overlay returns the OR overlay (stuck-at-1) or AND overlay (stuck-at-0)
+// with the control stepping to the forcing value at the onset time.
+func (f StuckAt) Overlay(Site, *rand.Rand) (Overlay, error) {
 	if !(f.From >= 0) || math.IsInf(f.From, 0) {
-		return nil, nil, fmt.Errorf("fault: %s: onset time must be finite and ≥ 0", f)
+		return Overlay{}, fmt.Errorf("fault: %s: onset time must be finite and ≥ 0", f)
 	}
 	fn := gate.Or(2)
 	ctlInit, ctlOn := signal.Low, signal.High
@@ -80,9 +90,18 @@ func (f StuckAt) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal
 	}
 	ctl, err := signal.New(ctlInit, signal.Transition{At: f.From, To: ctlOn})
 	if err != nil {
+		return Overlay{}, err
+	}
+	return Overlay{Gate: fn, Ctl: ctl}, nil
+}
+
+// Instrument injects the stuck-at fault at the site.
+func (f StuckAt) Instrument(c *circuit.Circuit, s Site, inputs map[string]signal.Signal, rng *rand.Rand) (*circuit.Circuit, map[string]signal.Signal, error) {
+	ov, err := f.Overlay(s, rng)
+	if err != nil {
 		return nil, nil, err
 	}
-	return overlay(c, s, inputs, fn, ctl)
+	return overlay(c, s, inputs, ov.Gate, ov.Ctl)
 }
 
 // wrapModel adapts a fault wrapper around an inner channel model. Wrapper

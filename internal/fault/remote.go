@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"involution/internal/signal"
+	"involution/internal/sim"
+)
+
+// ErrNotRemotable reports that a scenario cannot be expressed as a netlist
+// for remote execution — its model is a wrapper fault, or the circuit uses
+// constructs with no netlist form. The engine falls back to running the
+// scenario locally.
+var ErrNotRemotable = errors.New("fault: scenario not remotable")
+
+// AbortRemote is the Row.Abort class for scenarios whose remote execution
+// failed for infrastructure reasons (no nodes, transport errors after the
+// executor's own retries). It is terminal for the engine's retry ladder:
+// the executor owns infrastructure retries, and re-running the simulation
+// would not change a network's mind.
+const AbortRemote = "remote"
+
+// RemoteAbort is a remote simulation abort: the infrastructure worked, the
+// simulation did not. It carries the remote abort class so the engine's
+// retry ladder escalates budget and deadline aborts exactly as it does for
+// local runs.
+type RemoteAbort struct {
+	// Class is the sim abort class reported by the remote node.
+	Class sim.Class
+	// Msg is the remote error description.
+	Msg string
+	// Stats is the remote run's partial execution profile.
+	Stats sim.RunStats
+}
+
+func (e *RemoteAbort) Error() string {
+	return fmt.Sprintf("fault: remote abort (%s): %s", e.Class, e.Msg)
+}
+
+// Executor runs one instrumented fault scenario somewhere other than the
+// local process — the seam between the campaign engine and
+// internal/cluster. Implementations must be safe for concurrent use by the
+// engine's workers.
+//
+// Execute returns the recorded signals of the instrumented run, keyed by
+// the original node names (outputs plus the requested probe nodes), and
+// the run's statistics. Error contract: ErrNotRemotable when the scenario
+// cannot be shipped (the engine runs it locally); *RemoteAbort when the
+// remote simulation aborted (the engine's ladder may retry with escalated
+// resources); any other error is an infrastructure failure recorded as an
+// AbortRemote row.
+//
+// Determinism: for a completed run the returned signals must depend only
+// on (scenario, seed, opts) — never on which node executed the shard — so
+// the engine's reports stay byte-identical across node counts and failure
+// interleavings. Statistics are not part of that contract when the remote
+// instrumentation differs structurally from the local one (probe taps add
+// deliveries); they must still be deterministic for a fixed executor
+// configuration.
+type Executor interface {
+	Execute(ctx context.Context, sc Scenario, seed int64, opts sim.Options, probes []string) (map[string]signal.Signal, sim.RunStats, error)
+}
+
+// runScenarioWith executes one scenario attempt through exec, with the
+// same panic isolation and row semantics as the local runScenario.
+// Non-remotable scenarios transparently fall back to local execution.
+func (c *Campaign) runScenarioWith(ctx context.Context, exec Executor, sc Scenario, seed int64, opts sim.Options, base *sim.Result, outputs, probes []string) (row Row) {
+	if exec == nil {
+		return c.runScenario(sc, seed, opts, base, outputs, probes)
+	}
+	row = Row{ID: sc.ID, Site: sc.Site.Label(), Model: sc.Model.String()}
+	defer func() {
+		if r := recover(); r != nil {
+			row.Outcome = Aborted.String()
+			row.Abort = string(sim.ClassPanic)
+		}
+	}()
+	sigs, stats, err := exec.Execute(ctx, sc, seed, opts, probes)
+	if errors.Is(err, ErrNotRemotable) {
+		return c.runScenario(sc, seed, opts, base, outputs, probes)
+	}
+	if err != nil {
+		row.Outcome = Aborted.String()
+		var ra *RemoteAbort
+		if errors.As(err, &ra) {
+			row.Abort = string(ra.Class)
+			row.Scheduled = ra.Stats.Scheduled
+			row.Delivered = ra.Stats.Delivered
+			row.Canceled = ra.Stats.Canceled
+		} else if ctx.Err() != nil {
+			// Interrupted, not failed: class the row canceled so the engine
+			// leaves the slot unfinished for a resume.
+			row.Abort = string(sim.ClassCanceled)
+		} else {
+			row.Abort = AbortRemote
+		}
+		return row
+	}
+	row.Scheduled = stats.Scheduled
+	row.Delivered = stats.Delivered
+	row.Canceled = stats.Canceled
+	row.Outcome = classify(base.Signals, sigs, outputs, probes).String()
+	return row
+}

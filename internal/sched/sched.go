@@ -14,6 +14,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ForEach runs fn(i) for i = 0 … n-1 on a pool of workers goroutines,
@@ -181,3 +182,75 @@ func (p *Pool) Depth() int { return len(p.queue) }
 
 // InFlight returns the number of jobs currently executing.
 func (p *Pool) InFlight() int { return int(p.inflight.Load()) }
+
+// Backoff is a capped exponential backoff with deterministic jitter:
+// attempt n waits Base·2ⁿ, clamped to Max, stretched by up to Jitter
+// (a fraction of the wait) drawn from a seeded splitmix stream. Seeding
+// makes retry timing reproducible in tests while still decorrelating
+// concurrent clients that seed differently.
+type Backoff struct {
+	// Base is the first attempt's wait. Zero disables waiting entirely.
+	Base time.Duration
+	// Max clamps the exponential growth (0: no clamp).
+	Max time.Duration
+	// Jitter in [0,1] stretches each wait by up to that fraction.
+	Jitter float64
+	// Seed selects the jitter stream; the zero seed is a valid stream.
+	Seed int64
+
+	n     int
+	state uint64
+	once  sync.Once
+}
+
+// Next returns the wait before retry n (the n-th call) and advances the
+// sequence.
+func (b *Backoff) Next() time.Duration {
+	b.once.Do(func() { b.state = uint64(b.Seed) ^ 0x9e3779b97f4a7c15 })
+	if b.Base <= 0 {
+		return 0
+	}
+	d := b.Base << uint(min(b.n, 30))
+	b.n++
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		// splitmix64 step: cheap, seedable, good enough to decorrelate.
+		b.state += 0x9e3779b97f4a7c15
+		z := b.state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		frac := float64(z>>11) / float64(1<<53)
+		d += time.Duration(float64(d) * b.Jitter * frac)
+	}
+	return d
+}
+
+// Reset rewinds the exponential sequence (the jitter stream keeps
+// advancing, so post-reset waits are not replays).
+func (b *Backoff) Reset() { b.n = 0 }
+
+// Sleep waits Next() or until ctx is done, returning ctx.Err() in the
+// latter case. A nil ctx behaves like context.Background().
+func (b *Backoff) Sleep(ctx context.Context) error {
+	d := b.Next()
+	if d <= 0 {
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -172,3 +172,60 @@ func TestPoolSurvivesPanickingJob(t *testing.T) {
 	}
 	p.Close()
 }
+
+func TestBackoffSequence(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("Next() #%d = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("Next() after Reset = %v, want 10ms", got)
+	}
+}
+
+func TestBackoffJitterBoundedAndSeeded(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		b := Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond, Jitter: 0.5, Seed: seed}
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, a2, c := mk(1), mk(1), mk(2)
+	base := []time.Duration{1, 2, 4, 8, 8, 8}
+	differs := false
+	for i := range a {
+		lo := base[i] * time.Millisecond
+		hi := lo + lo/2
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("jittered wait #%d = %v outside [%v,%v]", i, a[i], lo, hi)
+		}
+		if a[i] != a2[i] {
+			t.Fatalf("same seed diverged at #%d: %v vs %v", i, a[i], a2[i])
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+func TestBackoffZeroBaseAndSleepCancel(t *testing.T) {
+	var b Backoff
+	if got := b.Next(); got != 0 {
+		t.Fatalf("zero Backoff Next() = %v, want 0", got)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := Backoff{Base: time.Hour}
+	if err := s.Sleep(ctx); err != context.Canceled {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package api holds the wire types of the simd HTTP/NDJSON protocol —
+// the request, job-record and result-payload schemas exchanged with
+// POST /v1/jobs and friends — extracted from the server so that clients
+// (internal/cluster, cmd/simctl) can speak the protocol without linking
+// the execution engine. Package server aliases these types, so the wire
+// protocol is defined in exactly one place.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"time"
+
+	"involution/internal/sim"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job statuses.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusCompleted Status = "completed"
+	StatusAborted   Status = "aborted"
+)
+
+// Request is one simulation job as submitted to POST /v1/jobs. Exactly one
+// of Netlist and Circuit selects the design; everything else parametrizes
+// the run.
+type Request struct {
+	// Netlist is the design in the text netlist format (see package
+	// netlist). It is canonicalized (netlist.Format) before hashing, so
+	// formatting differences do not defeat the result cache.
+	Netlist string `json:"netlist,omitempty"`
+	// Circuit names a built-in circuit (see GET /v1/circuits) instead of a
+	// netlist.
+	Circuit string `json:"circuit,omitempty"`
+	// Adversary selects the η adversary for built-in circuits
+	// (zero|worst|maxup|uniform). Netlist designs configure adversaries per
+	// channel instead.
+	Adversary string `json:"adversary,omitempty"`
+	// Seed derives every random stream of the run (built-in adversary
+	// rngs); identical seeded requests are deterministic cache hits.
+	Seed int64 `json:"seed,omitempty"`
+	// Inputs maps input-port names to stimulus signals in the signal
+	// syntax ("0 r@1 f@2.5"). Unmentioned ports default to constant zero.
+	Inputs map[string]string `json:"inputs,omitempty"`
+	// Horizon bounds simulated time (default 100).
+	Horizon float64 `json:"horizon,omitempty"`
+	// MaxEvents caps delivered events (0: the simulator default).
+	MaxEvents int `json:"max_events,omitempty"`
+	// DeadlineMS bounds the run's wall-clock time in milliseconds (0:
+	// none). Deadline-dependent outcomes are never cached.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// RouteKey returns the client-side content key of the request: the hex
+// SHA-256 of its JSON encoding (field order is fixed and Go serializes
+// maps in sorted key order, so the encoding is deterministic). The server
+// computes its own canonical hash after validation; RouteKey only needs to
+// be stable for identical requests, which is what consistent-hash routing
+// requires — repeat sweeps produce the same keys and land on the nodes
+// that already hold the cached results.
+func (r Request) RouteKey() string {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		// Request is a plain data struct; Marshal cannot fail on it. Keep a
+		// deterministic fallback anyway.
+		raw = []byte(err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Record is the externally visible state of one job: what GET
+// /v1/jobs/{id} returns and what the server flushes on drain.
+type Record struct {
+	// ID addresses the job under /v1/jobs/{id}.
+	ID string `json:"id"`
+	// Circuit is the simulated circuit's name.
+	Circuit string `json:"circuit"`
+	// Hash is the canonical request's content hash — the result-cache key.
+	Hash string `json:"hash"`
+	// Status is the lifecycle state (queued|running|completed|aborted).
+	Status Status `json:"status"`
+	// Class is the sim abort class for aborted jobs (budget, deadline,
+	// panic, bad-time, canceled, …).
+	Class string `json:"class,omitempty"`
+	// Error describes the abort cause for aborted jobs.
+	Error string `json:"error,omitempty"`
+	// Cached marks a job answered from the result cache without running.
+	Cached bool `json:"cached,omitempty"`
+	// Trace marks a job recording a live event trace
+	// (/v1/jobs/{id}/trace).
+	Trace bool `json:"trace,omitempty"`
+	// Submitted/Started/Finished are the lifecycle timestamps.
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Result is the run's outcome payload (see ResultPayload), present
+	// once the job finished.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ResultPayload is the Record.Result schema. For completed jobs the
+// wall-clock stats.duration_ns is scrubbed to zero so the payload depends
+// only on the canonical request — the property that makes cache hits
+// byte-identical; wall-clock latency lives in the record's timestamps and
+// the simd_job_latency_seconds histogram instead. Aborted jobs keep their
+// real partial stats (they are never cached).
+type ResultPayload struct {
+	// Status is "completed" or "aborted".
+	Status Status `json:"status"`
+	// Class/Error describe the abort (aborted jobs only).
+	Class string `json:"class,omitempty"`
+	Error string `json:"error,omitempty"`
+	// ExitCode is the shared sim.ExitCode mapping of the outcome, so
+	// scripted clients can reuse the CLI exit-code contract.
+	ExitCode int `json:"exit_code"`
+	// Events is the number of delivered events (completed jobs).
+	Events int `json:"events,omitempty"`
+	// Horizon echoes the simulated horizon.
+	Horizon float64 `json:"horizon"`
+	// Outputs maps output-port names to their recorded signals in the
+	// canonical signal syntax (completed jobs).
+	Outputs map[string]string `json:"outputs,omitempty"`
+	// Stats is the execution profile — partial for aborted jobs.
+	Stats sim.RunStats `json:"stats"`
+}
+
+// Health is the GET /healthz payload.
+type Health struct {
+	// Status is "ok", or "draining" while the server shuts down (served
+	// with HTTP 503).
+	Status string `json:"status"`
+	// Advertise is the address the node believes it serves on (the simd
+	// -advertise flag); coordinators verify it against the address they
+	// routed to. Empty when the node was not told its address.
+	Advertise string `json:"advertise,omitempty"`
+}
+
+// Version is the GET /version payload.
+type Version struct {
+	Service string `json:"service"`
+	Version string `json:"version"`
+	// Advertise mirrors Health.Advertise.
+	Advertise string `json:"advertise,omitempty"`
+}
+
+// ErrorBody is the JSON error envelope of non-2xx responses.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentEvictionAtCapacity hammers a tiny cache with distinct
+// hashes from many goroutines — the pattern a sharded sweep produces when
+// every scenario is a cache miss — interleaved with gets, and checks the
+// LRU invariants hold: the bound is never exceeded, map and list stay in
+// sync, and whatever survives is retrievable with the bytes that went in.
+// Run under -race this also proves put/get need no external locking.
+func TestCacheConcurrentEvictionAtCapacity(t *testing.T) {
+	const (
+		capacity   = 8
+		goroutines = 16
+		perG       = 200
+	)
+	c := newResultCache(capacity)
+
+	// Pre-fill to capacity so every concurrent put below evicts.
+	for i := 0; i < capacity; i++ {
+		c.put(testHash("seed", i), json.RawMessage(`{"seed":true}`))
+	}
+	if got := c.len(); got != capacity {
+		t.Fatalf("pre-fill len = %d, want %d", got, capacity)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := testHash(fmt.Sprintf("g%d", g), i)
+				val := json.RawMessage(fmt.Sprintf(`{"g":%d,"i":%d}`, g, i))
+				c.put(key, val)
+				// Immediately reading back may miss (another goroutine can
+				// evict it), but a hit must return the exact bytes.
+				if got, ok := c.get(key); ok && string(got) != string(val) {
+					t.Errorf("get(%s) = %s, want %s", key, got, val)
+				}
+				// Touch an unrelated seed key to churn the LRU order.
+				c.get(testHash("seed", i%capacity))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := c.len(); got != capacity {
+		t.Fatalf("len after churn = %d, want exactly %d (cache was at capacity throughout)", got, capacity)
+	}
+	c.mu.Lock()
+	if len(c.byKey) != c.order.Len() {
+		t.Fatalf("map/list out of sync: %d keys, %d list entries", len(c.byKey), c.order.Len())
+	}
+	for key, el := range c.byKey {
+		if el.Value.(*cacheEntry).key != key {
+			t.Fatalf("entry under key %s carries key %s", key, el.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+
+	// Survivors must still serve their exact bytes.
+	seen := 0
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			key := testHash(fmt.Sprintf("g%d", g), i)
+			if got, ok := c.get(key); ok {
+				seen++
+				want := fmt.Sprintf(`{"g":%d,"i":%d}`, g, i)
+				if string(got) != want {
+					t.Fatalf("survivor %s = %s, want %s", key, got, want)
+				}
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no churned entries survived; eviction should keep the most recent")
+	}
+}
+
+// testHash derives a distinct hash-shaped key, mimicking the canonical
+// request hashes real submits produce.
+func testHash(prefix string, i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s-%d", prefix, i)))
+	return hex.EncodeToString(sum[:])
+}

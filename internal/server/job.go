@@ -2,79 +2,31 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"sync"
-	"time"
 
-	"involution/internal/sim"
+	"involution/internal/server/api"
 )
 
-// Status is a job's lifecycle state.
-type Status string
+// Status, Record and ResultPayload are the wire types of the protocol,
+// defined in internal/server/api so clients can import them without the
+// execution engine.
+type (
+	// Status is a job's lifecycle state.
+	Status = api.Status
+	// Record is the externally visible state of one job: what GET
+	// /v1/jobs/{id} returns and what WriteJobRecords flushes on drain.
+	Record = api.Record
+	// ResultPayload is the Record.Result schema.
+	ResultPayload = api.ResultPayload
+)
 
 // Job statuses.
 const (
-	StatusQueued    Status = "queued"
-	StatusRunning   Status = "running"
-	StatusCompleted Status = "completed"
-	StatusAborted   Status = "aborted"
+	StatusQueued    = api.StatusQueued
+	StatusRunning   = api.StatusRunning
+	StatusCompleted = api.StatusCompleted
+	StatusAborted   = api.StatusAborted
 )
-
-// Record is the externally visible state of one job: what GET
-// /v1/jobs/{id} returns and what WriteJobRecords flushes on drain.
-type Record struct {
-	// ID addresses the job under /v1/jobs/{id}.
-	ID string `json:"id"`
-	// Circuit is the simulated circuit's name.
-	Circuit string `json:"circuit"`
-	// Hash is the canonical request's content hash — the result-cache key.
-	Hash string `json:"hash"`
-	// Status is the lifecycle state (queued|running|completed|aborted).
-	Status Status `json:"status"`
-	// Class is the sim abort class for aborted jobs (budget, deadline,
-	// panic, bad-time, canceled, …).
-	Class string `json:"class,omitempty"`
-	// Error describes the abort cause for aborted jobs.
-	Error string `json:"error,omitempty"`
-	// Cached marks a job answered from the result cache without running.
-	Cached bool `json:"cached,omitempty"`
-	// Trace marks a job recording a live event trace
-	// (/v1/jobs/{id}/trace).
-	Trace bool `json:"trace,omitempty"`
-	// Submitted/Started/Finished are the lifecycle timestamps.
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	// Result is the run's outcome payload (see ResultPayload), present
-	// once the job finished.
-	Result json.RawMessage `json:"result,omitempty"`
-}
-
-// ResultPayload is the Record.Result schema. For completed jobs the
-// wall-clock stats.duration_ns is scrubbed to zero so the payload depends
-// only on the canonical request — the property that makes cache hits
-// byte-identical; wall-clock latency lives in the record's timestamps and
-// the simd_job_latency_seconds histogram instead. Aborted jobs keep their
-// real partial stats (they are never cached).
-type ResultPayload struct {
-	// Status is "completed" or "aborted".
-	Status Status `json:"status"`
-	// Class/Error describe the abort (aborted jobs only).
-	Class string `json:"class,omitempty"`
-	Error string `json:"error,omitempty"`
-	// ExitCode is the shared sim.ExitCode mapping of the outcome, so
-	// scripted clients can reuse the CLI exit-code contract.
-	ExitCode int `json:"exit_code"`
-	// Events is the number of delivered events (completed jobs).
-	Events int `json:"events,omitempty"`
-	// Horizon echoes the simulated horizon.
-	Horizon float64 `json:"horizon"`
-	// Outputs maps output-port names to their recorded signals in the
-	// canonical signal syntax (completed jobs).
-	Outputs map[string]string `json:"outputs,omitempty"`
-	// Stats is the execution profile — partial for aborted jobs.
-	Stats sim.RunStats `json:"stats"`
-}
 
 // job is the server-internal job state. The record is mutated only under
 // mu; readers take snapshots.

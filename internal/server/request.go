@@ -12,38 +12,14 @@ import (
 
 	"involution/internal/circuit"
 	"involution/internal/netlist"
+	"involution/internal/server/api"
 	"involution/internal/signal"
 )
 
-// Request is one simulation job as submitted to POST /v1/jobs. Exactly one
-// of Netlist and Circuit selects the design; everything else parametrizes
-// the run.
-type Request struct {
-	// Netlist is the design in the text netlist format (see package
-	// netlist). It is canonicalized (netlist.Format) before hashing, so
-	// formatting differences do not defeat the result cache.
-	Netlist string `json:"netlist,omitempty"`
-	// Circuit names a built-in circuit (see GET /v1/circuits) instead of a
-	// netlist.
-	Circuit string `json:"circuit,omitempty"`
-	// Adversary selects the η adversary for built-in circuits
-	// (zero|worst|maxup|uniform). Netlist designs configure adversaries per
-	// channel instead.
-	Adversary string `json:"adversary,omitempty"`
-	// Seed derives every random stream of the run (built-in adversary
-	// rngs); identical seeded requests are deterministic cache hits.
-	Seed int64 `json:"seed,omitempty"`
-	// Inputs maps input-port names to stimulus signals in the signal
-	// syntax ("0 r@1 f@2.5"). Unmentioned ports default to constant zero.
-	Inputs map[string]string `json:"inputs,omitempty"`
-	// Horizon bounds simulated time (default 100).
-	Horizon float64 `json:"horizon,omitempty"`
-	// MaxEvents caps delivered events (0: the simulator default).
-	MaxEvents int `json:"max_events,omitempty"`
-	// DeadlineMS bounds the run's wall-clock time in milliseconds (0:
-	// none). Deadline-dependent outcomes are never cached.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-}
+// Request is one simulation job as submitted to POST /v1/jobs. The wire
+// schema lives in internal/server/api so clients can import it without the
+// execution engine; see api.Request for the field documentation.
+type Request = api.Request
 
 // compiled is a validated, canonicalized request ready to run.
 type compiled struct {

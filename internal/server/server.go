@@ -35,6 +35,7 @@ import (
 
 	"involution/internal/obs"
 	"involution/internal/sched"
+	"involution/internal/server/api"
 	"involution/internal/sim"
 )
 
@@ -61,7 +62,20 @@ type Config struct {
 	Registry *obs.Registry
 	// Version is reported by GET /version (default "dev").
 	Version string
+	// Advertise is the address the node believes it serves on; it is
+	// echoed in /healthz and /version so coordinators can verify they
+	// reached the node they routed to (empty: omitted).
+	Advertise string
 }
+
+// Retry-After values (seconds) sent with 503 responses so polite clients —
+// including cluster.Client — can back off without guessing: a full queue
+// clears quickly, a draining server never comes back (its replacement
+// does).
+const (
+	retryAfterQueueFull = "1"
+	retryAfterDraining  = "60"
+)
 
 // Server is the simulation service. Create with New, mount Handler, and
 // Drain on shutdown.
@@ -143,14 +157,15 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		w.Header().Set("Retry-After", retryAfterDraining)
+		writeJSON(w, http.StatusServiceUnavailable, api.Health{Status: "draining", Advertise: s.cfg.Advertise})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, api.Health{Status: "ok", Advertise: s.cfg.Advertise})
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"service": "simd", "version": s.cfg.Version})
+	writeJSON(w, http.StatusOK, api.Version{Service: "simd", Version: s.cfg.Version, Advertise: s.cfg.Advertise})
 }
 
 func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
@@ -159,6 +174,7 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterDraining)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -212,6 +228,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.unregister(j)
 		if errors.Is(err, sched.ErrQueueFull) {
 			s.met.queueFull.Inc()
+			w.Header().Set("Retry-After", retryAfterQueueFull)
+		} else {
+			w.Header().Set("Retry-After", retryAfterDraining)
 		}
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return

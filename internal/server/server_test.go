@@ -16,6 +16,7 @@ import (
 	"involution/internal/channel"
 	"involution/internal/circuit"
 	"involution/internal/gate"
+	"involution/internal/server/api"
 	"involution/internal/signal"
 	"involution/internal/sim"
 )
@@ -530,4 +531,72 @@ func TestQueueFullRejects(t *testing.T) {
 		}
 	}
 	s.Drain(50 * time.Millisecond) // cancel the deliberately endless jobs
+}
+
+// TestRetryAfterOn503 asserts the Retry-After header rides along with both
+// 503 paths — a full queue (transient: short) and a draining server
+// (permanent: long) — so polite clients can back off without guessing.
+func TestRetryAfterOn503(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	t.Cleanup(func() { s.Drain(10 * time.Second) })
+	h := s.Handler()
+
+	slow := Request{Netlist: ringNetlist, Horizon: 1e12, MaxEvents: 100_000_000}
+	for i := 0; ; i++ {
+		slow.Seed = int64(i)
+		w := doJSON(t, h, "POST", "/v1/jobs", slow)
+		if w.Code == http.StatusServiceUnavailable {
+			if got := w.Header().Get("Retry-After"); got != retryAfterQueueFull {
+				t.Fatalf("queue-full Retry-After = %q, want %q", got, retryAfterQueueFull)
+			}
+			break
+		}
+		if i > 10 {
+			t.Fatal("queue never filled")
+		}
+	}
+	s.Drain(50 * time.Millisecond) // cancel the deliberately endless jobs
+
+	if w := doJSON(t, h, "POST", "/v1/jobs", Request{Netlist: bufNetlist}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", w.Code)
+	} else if got := w.Header().Get("Retry-After"); got != retryAfterDraining {
+		t.Fatalf("draining submit Retry-After = %q, want %q", got, retryAfterDraining)
+	}
+	if w := doJSON(t, h, "GET", "/healthz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", w.Code)
+	} else if got := w.Header().Get("Retry-After"); got != retryAfterDraining {
+		t.Fatalf("draining healthz Retry-After = %q, want %q", got, retryAfterDraining)
+	}
+}
+
+// TestAdvertiseEchoed round-trips the advertised address through /healthz
+// and /version, and checks both omit it when unconfigured.
+func TestAdvertiseEchoed(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, Advertise: "node-a:8080"})
+	t.Cleanup(func() { s.Drain(time.Second) })
+	h := s.Handler()
+
+	var hlth api.Health
+	w := doJSON(t, h, "GET", "/healthz", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &hlth); err != nil || w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d %v %s", w.Code, err, w.Body.String())
+	}
+	if hlth.Advertise != "node-a:8080" || hlth.Status != "ok" {
+		t.Fatalf("healthz payload = %+v, want ok/node-a:8080", hlth)
+	}
+	var ver api.Version
+	w = doJSON(t, h, "GET", "/version", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &ver); err != nil {
+		t.Fatalf("version: %v", err)
+	}
+	if ver.Advertise != "node-a:8080" || ver.Service != "simd" {
+		t.Fatalf("version payload = %+v, want simd/node-a:8080", ver)
+	}
+
+	bare := New(Config{Workers: 1, QueueDepth: 1})
+	t.Cleanup(func() { bare.Drain(time.Second) })
+	w = doJSON(t, bare.Handler(), "GET", "/healthz", nil)
+	if strings.Contains(w.Body.String(), "advertise") {
+		t.Fatalf("unconfigured advertise leaked into healthz: %s", w.Body.String())
+	}
 }
