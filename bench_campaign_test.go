@@ -9,11 +9,13 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"involution/internal/core"
 	"involution/internal/delay"
 	"involution/internal/experiments"
 	"involution/internal/fault"
+	"involution/internal/obs/tracing"
 	"involution/internal/signal"
 	"involution/internal/spf"
 )
@@ -76,7 +78,29 @@ func BenchmarkCampaignParallel(b *testing.B) {
 
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// One instrumented (untimed) run measures parallel efficiency:
+			// engine busy time — the sum of baseline/scenario span durations,
+			// each started when a worker picks the scenario up — divided by
+			// wall × workers. Near 1.0 the pool computes the whole time; near
+			// 1/workers the workers mostly wait on each other. On a
+			// GOMAXPROCS=1 host every worker count collapses to the serial
+			// throughput and efficiency sits at ~1/workers: the pool is
+			// scheduler-serialized, not engine-limited (DESIGN.md §10).
+			buf := &tracing.Buffer{}
+			traced := &fault.Engine{Campaign: camp, Opts: fault.Options{Workers: workers, Tracer: tracing.New("bench", buf)}}
+			t0 := time.Now()
+			if _, err := traced.Run(context.Background(), scenarios); err != nil {
+				b.Fatal(err)
+			}
+			wall := time.Since(t0)
+			var busy time.Duration
+			for _, sp := range buf.Spans() {
+				busy += sp.Duration()
+			}
+			eff := float64(busy) / (float64(wall) * float64(workers))
+
 			eng := &fault.Engine{Campaign: camp, Opts: fault.Options{Workers: workers}}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rep, err := eng.Run(context.Background(), scenarios)
 				if err != nil {
@@ -91,6 +115,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(scenarios)), "scenarios")
+			b.ReportMetric(eff, "parallel_efficiency")
 		})
 	}
 }

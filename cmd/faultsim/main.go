@@ -58,6 +58,7 @@ import (
 	"involution/internal/fault"
 	"involution/internal/netlist"
 	"involution/internal/obs"
+	"involution/internal/obs/tracing"
 	"involution/internal/signal"
 	"involution/internal/sim"
 	"involution/internal/spf"
@@ -101,6 +102,7 @@ func main() {
 	maxRetries := flag.Int("max-retries", 2, "re-runs granted per scenario aborting on budget/deadline, under escalating limits")
 	checkpoint := flag.String("checkpoint", "", "journal completed scenarios to this file (crash-safe, fsync'd)")
 	resume := flag.Bool("resume", false, "replay the -checkpoint journal and run only the remaining scenarios")
+	traceSpans := flag.String("trace-spans", "", "record per-scenario engine spans as JSONL to this file (readable with 'simctl trace -spans')")
 	in := stimuli{}
 	flag.Var(in, "in", "input stimulus, e.g. 'i=0 r@1 f@2.5' (repeatable; default: constant zero)")
 	flag.Parse()
@@ -184,14 +186,40 @@ func main() {
 	fmt.Printf("campaign grid: %d scenarios (%d sites × %d models, inapplicable pairs skipped), seed %d\n",
 		len(scenarios), len(fault.Sites(c)), len(models), *seed)
 
-	eng := &fault.Engine{Campaign: camp, Opts: fault.Options{
+	var spanRoot *tracing.Span
+	var spanSink *tracing.JSONLSink
+	var spanFile *os.File
+	opts := fault.Options{
 		Workers:    *workers,
 		MaxRetries: *maxRetries,
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
 		Registry:   reg,
-	}}
+	}
+	if *traceSpans != "" {
+		spanFile, err = os.Create(*traceSpans)
+		if err != nil {
+			fatal(err)
+		}
+		spanSink = tracing.NewJSONLSink(spanFile)
+		tr := tracing.New("faultsim", spanSink)
+		opts.Tracer = tr
+		spanRoot = tr.StartRoot("campaign")
+		ctx = tracing.ContextWith(ctx, spanRoot)
+		fmt.Printf("trace %s (spans → %s)\n", spanRoot.Context().TraceID, *traceSpans)
+	}
+
+	eng := &fault.Engine{Campaign: camp, Opts: opts}
 	rep, err := eng.Run(ctx, scenarios)
+	spanRoot.End()
+	if spanFile != nil {
+		if serr := spanSink.Err(); serr != nil {
+			fmt.Fprintln(os.Stderr, "faultsim: trace-spans:", serr)
+		}
+		if cerr := spanFile.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "faultsim: trace-spans:", cerr)
+		}
+	}
 	interrupted := errors.Is(err, fault.ErrInterrupted)
 	if err != nil && !interrupted {
 		fatal(err)

@@ -9,6 +9,16 @@
 //
 //	simctl sweep    -peers host:8080,host:8081 -csv sweep.csv
 //	simctl campaign -peers host:8080 -f design.net -in 'i=0 r@1 f@2.5'
+//	simctl trace    <trace-id|job-hash> -peers host:8080,host:8081
+//	simctl top      -peers host:8080,host:8081 -once
+//
+// Both sweep and campaign accept -trace-out <file>: the run then records
+// a distributed trace (campaign root → scenario → dispatch → attempt
+// locally, stitched over the cluster hop to each node's job → sim spans)
+// whose id is printed at startup. `simctl trace` merges the local span
+// file with the spans retained by each node's flight recorder
+// (/debug/jobs) into one cross-node timeline; `simctl top` polls the
+// fleet's flight recorders for the slowest retained jobs.
 //
 // sweep reruns the Theorem 9 experiment remotely: for each adversary the
 // Fig. 5 SPF circuit is rendered as a netlist (experiments.SPFNetlist),
@@ -43,6 +53,7 @@ import (
 	"involution/internal/fault"
 	"involution/internal/netlist"
 	"involution/internal/obs"
+	"involution/internal/obs/tracing"
 	"involution/internal/signal"
 	"involution/internal/sim"
 	"involution/internal/spf"
@@ -62,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runSweep(args[1:], stdout, stderr)
 	case "campaign":
 		return runCampaign(args[1:], stdout, stderr)
+	case "trace":
+		return runTrace(args[1:], stdout, stderr)
+	case "top":
+		return runTop(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -76,6 +91,8 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   simctl sweep    -peers <addr,...> [flags]   Theorem 9 SET sweep on the fleet
   simctl campaign -peers <addr,...> -f <netlist> [flags]   overlay-fault campaign
+  simctl trace    <trace-id|job-hash> -peers <addr,...> [-spans file]   render one trace's cross-node timeline
+  simctl top      -peers <addr,...> [-n 10] [-once]   slowest retained jobs across the fleet
 
 run 'simctl <command> -h' for the command's flags
 `)
@@ -98,13 +115,8 @@ func (cf *clusterFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&cf.nodeInFlight, "node-inflight", 4, "concurrent requests per node")
 }
 
-func (cf *clusterFlags) coordinator(reg *obs.Registry) (*cluster.Coordinator, error) {
-	var peers []string
-	for _, p := range strings.Split(cf.peers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			peers = append(peers, p)
-		}
-	}
+func (cf *clusterFlags) coordinator(reg *obs.Registry, tracer *tracing.Tracer) (*cluster.Coordinator, error) {
+	peers := splitPeers(cf.peers)
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("-peers is required (comma-separated simd addresses)")
 	}
@@ -115,6 +127,7 @@ func (cf *clusterFlags) coordinator(reg *obs.Registry) (*cluster.Coordinator, er
 		Retries:      cf.retries,
 		NodeInFlight: cf.nodeInFlight,
 		Registry:     reg,
+		Tracer:       tracer,
 	})
 }
 
@@ -154,6 +167,7 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	maxRetries := fs.Int("max-retries", 2, "re-runs per scenario aborting on budget/deadline, under escalating limits")
 	csvPath := fs.String("csv", "", `write the combined report as CSV to this file ("-" = stdout)`)
 	jsonlPath := fs.String("jsonl", "", `write the combined report as JSONL to this file ("-" = stdout)`)
+	traceOut := fs.String("trace-out", "", "record the sweep's spans as JSONL to this file and print the trace id")
 	if err := fs.Parse(args); err != nil {
 		return sim.ExitUsage
 	}
@@ -161,8 +175,15 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	ctx, stopSignals := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	to, err := openTraceOutput(*traceOut, "sweep", stdout)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	defer to.close(stderr)
+	ctx = to.context(ctx)
+
 	reg := obs.NewRegistry()
-	coord, err := cf.coordinator(reg)
+	coord, err := cf.coordinator(reg, to.Tracer())
 	if err != nil {
 		return fatal(stderr, err)
 	}
@@ -211,6 +232,7 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 			MaxRetries: *maxRetries,
 			Registry:   reg,
 			Executor:   &cluster.CampaignExecutor{Coord: coord, Doc: doc, Inputs: camp.Inputs},
+			Tracer:     to.Tracer(),
 		}}
 		site := fault.Site{From: spf.NodeIn, To: spf.NodeOr, Pin: 0}
 		rep, err := eng.Run(ctx, fault.Grid([]fault.Site{site}, models))
@@ -258,12 +280,14 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		}
 		return nil
 	}
+	mergeSp := to.child("merge")
 	if err := writeReport(stdout, *csvPath, writeCSV); err != nil {
 		return fatal(stderr, err)
 	}
 	if err := writeReport(stdout, *jsonlPath, writeJSONL); err != nil {
 		return fatal(stderr, err)
 	}
+	mergeSp.End()
 	clusterSummary(stdout, reg)
 	if interrupted {
 		return sim.ExitCanceled
@@ -285,6 +309,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	maxRetries := fs.Int("max-retries", 2, "re-runs per scenario aborting on budget/deadline, under escalating limits")
 	csvPath := fs.String("csv", "", `write the per-scenario report as CSV to this file ("-" = stdout)`)
 	jsonlPath := fs.String("jsonl", "", `write the per-scenario report as JSONL to this file ("-" = stdout)`)
+	traceOut := fs.String("trace-out", "", "record the campaign's spans as JSONL to this file and print the trace id")
 	in := stimuli{}
 	fs.Var(in, "in", "input stimulus, e.g. 'i=0 r@1 f@2.5' (repeatable; default: constant zero)")
 	if err := fs.Parse(args); err != nil {
@@ -324,8 +349,15 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	ctx, stopSignals := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	to, err := openTraceOutput(*traceOut, "campaign", stdout)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	defer to.close(stderr)
+	ctx = to.context(ctx)
+
 	reg := obs.NewRegistry()
-	coord, err := cf.coordinator(reg)
+	coord, err := cf.coordinator(reg, to.Tracer())
 	if err != nil {
 		return fatal(stderr, err)
 	}
@@ -347,6 +379,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 		MaxRetries: *maxRetries,
 		Registry:   reg,
 		Executor:   &cluster.CampaignExecutor{Coord: coord, Doc: doc, Inputs: inputs},
+		Tracer:     to.Tracer(),
 	}}
 	rep, err := eng.Run(ctx, scenarios)
 	interrupted := errors.Is(err, fault.ErrInterrupted)
@@ -358,12 +391,14 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 			err, len(rep.Rows), len(scenarios))
 	}
 	fmt.Fprint(stdout, rep.Format())
+	mergeSp := to.child("merge")
 	if err := writeReport(stdout, *csvPath, rep.WriteCSV); err != nil {
 		return fatal(stderr, err)
 	}
 	if err := writeReport(stdout, *jsonlPath, rep.WriteJSONL); err != nil {
 		return fatal(stderr, err)
 	}
+	mergeSp.End()
 	clusterSummary(stdout, reg)
 	if interrupted {
 		return sim.ExitCanceled
@@ -396,8 +431,9 @@ func clusterSummary(w io.Writer, reg *obs.Registry) {
 	for _, s := range reg.Snapshot() {
 		vals[s.Name] = s.Value
 	}
-	fmt.Fprintf(w, "cluster: %.0f dispatched, %.0f hedges (%.0f wins), %.0f reschedules, %.0f attempt failures, %.0f remote cache hits\n",
-		vals["cluster_dispatch_total"], vals["cluster_hedge_total"], vals["cluster_hedge_win_total"],
+	fmt.Fprintf(w, "cluster: %.0f dispatched, %.0f hedges (%.0f won / %.0f lost / %.0f canceled), %.0f reschedules, %.0f attempt failures, %.0f remote cache hits\n",
+		vals["cluster_dispatch_total"], vals["cluster_hedge_total"],
+		vals["cluster_hedges_won_total"], vals["cluster_hedges_lost_total"], vals["cluster_hedges_canceled_total"],
 		vals["cluster_reschedule_total"], vals["cluster_attempt_failure_total"], vals["cluster_remote_cache_hit_total"])
 }
 

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	ossignal "os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"involution/internal/obs/tracing"
+	"involution/internal/sim"
+)
+
+// traceOutput bundles the -trace-out plumbing of sweep/campaign: a JSONL
+// span sink, the tracer writing to it, and the command's root span. The
+// nil *traceOutput is the disabled state; every method is safe on it, so
+// call sites need no conditionals.
+type traceOutput struct {
+	tracer *tracing.Tracer
+	root   *tracing.Span
+	sink   *tracing.JSONLSink
+	f      *os.File
+}
+
+// openTraceOutput creates path, roots a trace named op on it, and
+// announces the trace id on stdout (the handle `simctl trace` takes).
+// An empty path returns the disabled (nil) traceOutput.
+func openTraceOutput(path, op string, stdout io.Writer) (*traceOutput, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sink := tracing.NewJSONLSink(f)
+	tr := tracing.New("simctl", sink)
+	root := tr.StartRoot(op)
+	fmt.Fprintf(stdout, "trace %s (spans → %s)\n", root.Context().TraceID, path)
+	return &traceOutput{tracer: tr, root: root, sink: sink, f: f}, nil
+}
+
+func (to *traceOutput) Tracer() *tracing.Tracer {
+	if to == nil {
+		return nil
+	}
+	return to.tracer
+}
+
+// context returns ctx carrying the root span, so the engine's scenario
+// spans and the coordinator's dispatch spans parent under it.
+func (to *traceOutput) context(ctx context.Context) context.Context {
+	if to == nil {
+		return ctx
+	}
+	return tracing.ContextWith(ctx, to.root)
+}
+
+// child opens a named child of the root span ("merge" around report
+// assembly). Nil-safe: returns the nil span when tracing is off.
+func (to *traceOutput) child(name string) *tracing.Span {
+	if to == nil {
+		return nil
+	}
+	return to.tracer.StartChild(to.root, name)
+}
+
+// close ends the root span and flushes the file. Write errors surface
+// here, once, as a warning — span loss never fails the run itself.
+func (to *traceOutput) close(stderr io.Writer) {
+	if to == nil {
+		return
+	}
+	to.root.End()
+	if err := to.sink.Err(); err != nil {
+		fmt.Fprintf(stderr, "simctl: trace-out: %v\n", err)
+	}
+	if err := to.f.Close(); err != nil {
+		fmt.Fprintf(stderr, "simctl: trace-out: %v\n", err)
+	}
+}
+
+// isTraceID reports whether s looks like a 32-hex trace identifier (vs a
+// 64-hex job content hash).
+func isTraceID(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchDebugJobs pulls one node's flight-recorder entries (GET
+// /debug/jobs) with the given query string.
+func fetchDebugJobs(ctx context.Context, addr, query string) ([]tracing.JobEntry, error) {
+	base := addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/debug/jobs"+query, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", addr, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%s: HTTP %d: %s", addr, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var out []tracing.JobEntry
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e tracing.JobEntry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("%s: decoding /debug/jobs: %w", addr, err)
+		}
+		out = append(out, e)
+	}
+}
+
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// runTrace renders the cross-node timeline of one trace (or one job hash):
+// spans fetched from every peer's flight recorder, merged with the local
+// -trace-out file when given, ordered by start offset and indented by
+// parentage.
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simctl trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	peersFlag := fs.String("peers", "", "comma-separated simd node addresses to query for retained spans")
+	spansPath := fs.String("spans", "", "local span JSONL file (a sweep/campaign -trace-out) to merge into the timeline")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-node fetch timeout")
+	// The trace-id/hash may come before or after the flags (the flag
+	// package stops at the first positional argument).
+	var key string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		key, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return sim.ExitUsage
+	}
+	if key == "" && fs.NArg() == 1 {
+		key = fs.Arg(0)
+	} else if (key == "" && fs.NArg() != 1) || (key != "" && fs.NArg() != 0) {
+		fmt.Fprintln(stderr, "simctl trace: want exactly one <trace-id | job-hash> argument")
+		return sim.ExitUsage
+	}
+	peers := splitPeers(*peersFlag)
+	if len(peers) == 0 && *spansPath == "" {
+		return fatal(stderr, fmt.Errorf("nothing to read: give -peers and/or -spans"))
+	}
+
+	query := "?trace=" + key
+	traceID := key
+	if !isTraceID(key) {
+		query = "?hash=" + key
+		traceID = "" // resolved from the first matching entry
+	}
+
+	var spans []tracing.SpanRec
+	for _, addr := range peers {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		entries, err := fetchDebugJobs(ctx, addr, query)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "simctl trace: %v (continuing without that node)\n", err)
+			continue
+		}
+		for _, e := range entries {
+			if traceID == "" {
+				traceID = e.TraceID
+			}
+			spans = append(spans, e.Spans...)
+		}
+	}
+	if *spansPath != "" {
+		f, err := os.Open(*spansPath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		local, err := tracing.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		spans = append(spans, local...)
+	}
+
+	tl := tracing.NewTimeline(traceID, spans)
+	if len(tl.Spans) == 0 {
+		return fatal(stderr, fmt.Errorf("no spans found for %q (flight recorders are bounded; slow and aborted jobs are retained longest)", key))
+	}
+	if err := tl.Render(stdout); err != nil {
+		return fatal(stderr, err)
+	}
+	return 0
+}
+
+// runTop polls the fleet's flight recorders and renders the slowest
+// retained jobs, slowest first — `top` for simulations. -once prints a
+// single table (the CI mode); otherwise it refreshes until interrupted.
+func runTop(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simctl top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	peersFlag := fs.String("peers", "", "comma-separated simd node addresses (required)")
+	n := fs.Int("n", 10, "rows to show")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	once := fs.Bool("once", false, "print one table and exit")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-node fetch timeout")
+	if err := fs.Parse(args); err != nil {
+		return sim.ExitUsage
+	}
+	peers := splitPeers(*peersFlag)
+	if len(peers) == 0 {
+		return fatal(stderr, fmt.Errorf("-peers is required (comma-separated simd addresses)"))
+	}
+
+	ctx, stopSignals := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	for {
+		var all []tracing.JobEntry
+		for _, addr := range peers {
+			fctx, cancel := context.WithTimeout(ctx, *timeout)
+			entries, err := fetchDebugJobs(fctx, addr, fmt.Sprintf("?n=%d", *n))
+			cancel()
+			if err != nil {
+				fmt.Fprintf(stderr, "simctl top: %v\n", err)
+				continue
+			}
+			all = append(all, entries...)
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].DurNS > all[j].DurNS })
+		if len(all) > *n {
+			all = all[:*n]
+		}
+		fmt.Fprintf(stdout, "%-12s %-10s %-10s %-20s %-16s %s\n", "DURATION", "STATUS", "CLASS", "NODE", "HASH", "TRACE")
+		for _, e := range all {
+			hash := e.Hash
+			if len(hash) > 16 {
+				hash = hash[:16]
+			}
+			fmt.Fprintf(stdout, "%-12s %-10s %-10s %-20s %-16s %s\n",
+				fmt.Sprintf("%.3fms", float64(e.DurNS)/1e6), e.Status, e.Class, e.Node, hash, e.TraceID)
+		}
+		if *once {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return sim.ExitCanceled
+		case <-time.After(*interval):
+		}
+		fmt.Fprintln(stdout)
+	}
+}

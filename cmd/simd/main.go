@@ -16,7 +16,13 @@
 // ?stream=trace streams the live event trace and cancels the job if the
 // client disconnects), GET /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/trace, GET /v1/circuits, GET /healthz, GET /version,
-// GET /metrics (Prometheus text with the simd_* families).
+// GET /metrics (Prometheus text with the simd_* families), and
+// GET /debug/jobs — the flight recorder's retained slowest/aborted jobs
+// as JSONL span trees (?trace=, ?hash=, ?n= filters), the data behind
+// `simctl trace` and `simctl top`. Every job is traced into the flight
+// recorder; submits carrying a W3C traceparent header stitch into the
+// caller's distributed trace. Size the recorder with -flight-slow /
+// -flight-aborted.
 //
 // On SIGINT/SIGTERM the server drains gracefully: new submissions are
 // rejected with 503, queued and running jobs finish (jobs still running
@@ -59,6 +65,8 @@ func run() int {
 	advertise := fs.String("advertise", "", "address this node believes it serves on, echoed in /healthz and /version so coordinators can verify routing (default: none)")
 	jobsJSON := fs.String("jobs-json", "", "flush job records to this file as JSONL on shutdown")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound; stragglers are canceled after it")
+	flightSlow := fs.Int("flight-slow", 0, "flight-recorder slots for the slowest traced jobs (0: default 32, negative: off)")
+	flightAborted := fs.Int("flight-aborted", 0, "flight-recorder slots for recent aborted jobs (0: default 64, negative: off)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return sim.ExitUsage
 	}
@@ -67,11 +75,13 @@ func run() int {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		Version:    version,
-		Advertise:  *advertise,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cacheSize,
+		Version:       version,
+		Advertise:     *advertise,
+		FlightSlow:    *flightSlow,
+		FlightAborted: *flightAborted,
 	})
 	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"involution/internal/obs/tracing"
 	"involution/internal/sched"
 	"involution/internal/server/api"
 )
@@ -194,6 +195,11 @@ func (c *Client) postJSON(ctx context.Context, node, path string, body []byte, o
 		return fmt.Errorf("cluster: %s: %w", node, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's span (if any) so the node's job spans join the
+	// caller's trace — the cross-node half of `simctl trace`.
+	if sc := tracing.FromContext(ctx).Context(); sc.Valid() {
+		req.Header.Set(tracing.TraceparentHeader, sc.Traceparent())
+	}
 	return c.roundTrip(node, req, out)
 }
 

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"involution/internal/obs"
+	"involution/internal/obs/tracing"
 )
 
 // Options configures a Coordinator.
@@ -64,6 +65,10 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// Registry receives the cluster_* metrics (nil: metrics are dropped).
 	Registry *obs.Registry
+	// Tracer records coordinator-side spans (dispatch, attempt) and
+	// propagates trace context to nodes via the traceparent header. Nil —
+	// the default — disables tracing at zero cost.
+	Tracer *tracing.Tracer
 }
 
 // withDefaults returns a copy with unset knobs at their defaults.

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"involution/internal/obs"
+	"involution/internal/obs/tracing"
 	"involution/internal/sched"
 	"involution/internal/server/api"
 )
@@ -206,6 +208,12 @@ func (c *Coordinator) Run(ctx context.Context, reqs []api.Request, workers int) 
 func (c *Coordinator) RunOne(ctx context.Context, req api.Request) (api.Record, error) {
 	key := req.RouteKey()
 	prefs := c.ring.Order(key)
+	// The dispatch span covers the shard's whole life at the coordinator:
+	// routing, every (re)attempt and hedge, until a record is accepted. It
+	// joins whatever trace ctx already carries (the campaign root).
+	ctx, shard := c.opts.Tracer.StartSpan(ctx, "dispatch")
+	shard.SetAttrs(tracing.Str("key", key), tracing.Str("route", strings.Join(prefs, ",")))
+	defer shard.End()
 	retries := c.opts.Retries
 	bo := sched.Backoff{
 		Base:   20 * time.Millisecond,
@@ -244,13 +252,24 @@ func (c *Coordinator) RunOne(ctx context.Context, req api.Request) (api.Record, 
 		}
 	})
 	if lastErr != nil {
+		shard.SetAttrs(tracing.Str("error", lastErr.Error()))
+		shard.SetAbort(abortClassOf(ctx, lastErr))
 		return api.Record{}, lastErr
 	}
 	c.met.observeLatency(time.Since(start).Seconds())
 	if rec.Cached {
 		c.met.incRemoteHit()
+		shard.SetAttrs(tracing.Int("remote_cache_hit", 1))
 	}
 	return rec, nil
+}
+
+// abortClassOf maps a coordinator-side failure to a span abort class.
+func abortClassOf(ctx context.Context, err error) string {
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "canceled"
+	}
+	return "dispatch-failed"
 }
 
 // isTerminalRequestError reports a refusal that is a property of the
@@ -278,12 +297,28 @@ func (c *Coordinator) attempt(ctx context.Context, primary, partner *node, req a
 	results := make(chan outcome, 2)
 	launch := func(nd *node, hedged bool) {
 		go func() {
-			if err := nd.acquire(actx); err != nil {
+			// Each attempt gets its own span; its context carries it into
+			// Client.Submit, where it becomes the traceparent the node's job
+			// root parents on.
+			sctx, sp := c.opts.Tracer.StartSpan(actx, "attempt")
+			h := int64(0)
+			if hedged {
+				h = 1
+			}
+			sp.SetAttrs(tracing.Str("node", nd.addr), tracing.Int("hedged", h))
+			if err := nd.acquire(sctx); err != nil {
+				sp.SetAbort("canceled")
+				sp.End()
 				results <- outcome{err: err, nd: nd, hedged: hedged}
 				return
 			}
 			defer nd.release()
-			rec, err := c.client.Submit(actx, nd.addr, req)
+			rec, err := c.client.Submit(sctx, nd.addr, req)
+			if err != nil {
+				sp.SetAttrs(tracing.Str("error", err.Error()))
+				sp.SetAbort(abortClassOf(sctx, err))
+			}
+			sp.End()
 			results <- outcome{rec: rec, err: err, nd: nd, hedged: hedged}
 		}()
 	}
@@ -300,12 +335,14 @@ func (c *Coordinator) attempt(ctx context.Context, primary, partner *node, req a
 	}
 
 	pending := 1
+	hedgeLaunched := false
 	var firstErr error
 	for pending > 0 {
 		select {
 		case <-hedgeC:
 			hedgeC = nil
 			c.met.incHedge()
+			hedgeLaunched = true
 			pending++
 			launch(partner, true)
 		case o := <-results:
@@ -314,8 +351,15 @@ func (c *Coordinator) attempt(ctx context.Context, primary, partner *node, req a
 			if o.err == nil {
 				o.nd.br.success()
 				gaugeSet(o.nd.healthy, 1)
-				if o.hedged {
-					c.met.incHedgeWin()
+				// Classify the hedge at race-decision time: its success
+				// decided the shard (won) or the primary's did (lost — the
+				// duplicate work bought nothing, however it ends).
+				if hedgeLaunched {
+					if o.hedged {
+						c.met.incHedgeWon()
+					} else {
+						c.met.incHedgeLost()
+					}
 				}
 				cancel() // the race is decided; reel in the loser
 				return o.rec, nil
@@ -328,6 +372,16 @@ func (c *Coordinator) attempt(ctx context.Context, primary, partner *node, req a
 			if firstErr == nil {
 				firstErr = o.err
 			}
+		}
+	}
+	// No attempt succeeded. A hedge undone by outer cancellation never got
+	// a verdict (canceled); one that merely failed alongside the primary
+	// lost like any other attempt.
+	if hedgeLaunched {
+		if ctx.Err() != nil {
+			c.met.incHedgeCanceled()
+		} else {
+			c.met.incHedgeLost()
 		}
 	}
 	return api.Record{}, firstErr

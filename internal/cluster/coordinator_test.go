@@ -171,8 +171,110 @@ func TestCoordinatorHedgeWinsOverStraggler(t *testing.T) {
 	if v := metricValue(t, reg, "cluster_hedge_total"); v != 1 {
 		t.Fatalf("cluster_hedge_total = %v, want 1", v)
 	}
-	if v := metricValue(t, reg, "cluster_hedge_win_total"); v != 1 {
-		t.Fatalf("cluster_hedge_win_total = %v, want 1", v)
+	if v := metricValue(t, reg, "cluster_hedges_won_total"); v != 1 {
+		t.Fatalf("cluster_hedges_won_total = %v, want 1", v)
+	}
+	if v := metricValue(t, reg, "cluster_hedges_lost_total"); v != 0 {
+		t.Fatalf("cluster_hedges_lost_total = %v, want 0", v)
+	}
+}
+
+// TestCoordinatorHedgeLost makes the PRIMARY the slow node's rescue: the
+// hedge fires but the primary answers first, so the hedge is accounted as
+// lost, not won.
+func TestCoordinatorHedgeLost(t *testing.T) {
+	// Primary answers after a delay longer than the hedge trigger; the
+	// hedge partner hangs forever. The primary's success decides the race.
+	healthy := startNode(t, server.Config{})
+	slowProxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		time.Sleep(300 * time.Millisecond)
+		resp, err := http.Post("http://"+healthy+r.URL.RequestURI(), "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(out)
+	}))
+	t.Cleanup(slowProxy.Close)
+	delayed := slowProxy.Listener.Addr().String()
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hang.Close)
+	stuck := hang.Listener.Addr().String()
+
+	ring := NewRing([]string{delayed, stuck})
+	var req api.Request
+	for seed := int64(1); ; seed++ {
+		req = api.Request{Netlist: bufNetlist, Horizon: 10, Seed: seed}
+		if ring.Owner(req.RouteKey()) == delayed {
+			break
+		}
+		if seed > 10_000 {
+			t.Fatal("no key prefers the delayed node; ring broken")
+		}
+	}
+
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{
+		Peers:    []string{delayed, stuck},
+		Timeout:  30 * time.Second,
+		Hedge:    50 * time.Millisecond,
+		Registry: reg,
+	})
+	rec, err := c.RunOne(context.Background(), req)
+	if err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	if rec.Status != api.StatusCompleted {
+		t.Fatalf("status = %s, want completed", rec.Status)
+	}
+	if v := metricValue(t, reg, "cluster_hedge_total"); v != 1 {
+		t.Fatalf("cluster_hedge_total = %v, want 1", v)
+	}
+	if v := metricValue(t, reg, "cluster_hedges_lost_total"); v != 1 {
+		t.Fatalf("cluster_hedges_lost_total = %v, want 1", v)
+	}
+	if v := metricValue(t, reg, "cluster_hedges_won_total"); v != 0 {
+		t.Fatalf("cluster_hedges_won_total = %v, want 0", v)
+	}
+}
+
+// TestCoordinatorHedgeCanceled cancels the outer context while both the
+// primary and the hedge are still in flight: the hedge never gets a
+// verdict and must be accounted as canceled.
+func TestCoordinatorHedgeCanceled(t *testing.T) {
+	hang := func() string {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+		}))
+		t.Cleanup(srv.Close)
+		return srv.Listener.Addr().String()
+	}
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{
+		Peers:    []string{hang(), hang()},
+		Timeout:  30 * time.Second,
+		Hedge:    50 * time.Millisecond,
+		Retries:  1,
+		Registry: reg,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	if _, err := c.RunOne(ctx, api.Request{Netlist: bufNetlist, Horizon: 10}); err == nil {
+		t.Fatal("RunOne against two hung nodes should fail")
+	}
+	if v := metricValue(t, reg, "cluster_hedges_canceled_total"); v < 1 {
+		t.Fatalf("cluster_hedges_canceled_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, reg, "cluster_hedges_won_total"); v != 0 {
+		t.Fatalf("cluster_hedges_won_total = %v, want 0", v)
 	}
 }
 

@@ -14,11 +14,16 @@ type metrics struct {
 
 	dispatches *obs.Counter // shards dispatched (first attempts)
 	hedges     *obs.Counter // duplicate attempts launched on stragglers
-	hedgeWins  *obs.Counter // hedged duplicates that finished first
-	retries    *obs.Counter // shard reschedules onto another node
-	failures   *obs.Counter // attempts that failed (transport or 5xx)
-	remoteHits *obs.Counter // shards answered from a node's result cache
-	latency    *obs.Histogram
+	// Every launched hedge is accounted exactly once at race-decision time
+	// into won, lost or canceled — the three sum to hedges (eventually;
+	// in-flight hedges are not yet classified).
+	hedgesWon      *obs.Counter // hedged duplicates whose success decided the shard
+	hedgesLost     *obs.Counter // hedges beaten by the primary, or wasted on an all-failed race
+	hedgesCanceled *obs.Counter // hedges reeled in undecided by outer cancellation
+	retries        *obs.Counter // shard reschedules onto another node
+	failures       *obs.Counter // attempts that failed (transport or 5xx)
+	remoteHits     *obs.Counter // shards answered from a node's result cache
+	latency        *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -26,13 +31,15 @@ func newMetrics(reg *obs.Registry) *metrics {
 		return nil
 	}
 	return &metrics{
-		reg:        reg,
-		dispatches: reg.Counter("cluster_dispatch_total", "shards dispatched to nodes (first attempts)"),
-		hedges:     reg.Counter("cluster_hedge_total", "hedged duplicate attempts launched on stragglers"),
-		hedgeWins:  reg.Counter("cluster_hedge_win_total", "hedged duplicates that beat the original attempt"),
-		retries:    reg.Counter("cluster_reschedule_total", "shards rescheduled onto another node after a failure"),
-		failures:   reg.Counter("cluster_attempt_failure_total", "shard attempts failed (transport error or refusal)"),
-		remoteHits: reg.Counter("cluster_remote_cache_hit_total", "shards answered from a node's content-addressed result cache"),
+		reg:            reg,
+		dispatches:     reg.Counter("cluster_dispatch_total", "shards dispatched to nodes (first attempts)"),
+		hedges:         reg.Counter("cluster_hedge_total", "hedged duplicate attempts launched on stragglers"),
+		hedgesWon:      reg.Counter("cluster_hedges_won_total", "hedged duplicates whose success decided the shard"),
+		hedgesLost:     reg.Counter("cluster_hedges_lost_total", "hedges beaten by the primary or wasted on an all-failed race"),
+		hedgesCanceled: reg.Counter("cluster_hedges_canceled_total", "hedges reeled in undecided because the outer context was canceled"),
+		retries:        reg.Counter("cluster_reschedule_total", "shards rescheduled onto another node after a failure"),
+		failures:       reg.Counter("cluster_attempt_failure_total", "shard attempts failed (transport error or refusal)"),
+		remoteHits:     reg.Counter("cluster_remote_cache_hit_total", "shards answered from a node's content-addressed result cache"),
 		latency: reg.Histogram("cluster_shard_latency_seconds", "per-shard wall time, submission to accepted result",
 			obs.ExpBuckets(0.001, 2, 16)),
 	}
@@ -52,9 +59,21 @@ func (m *metrics) incHedge() {
 	}
 }
 
-func (m *metrics) incHedgeWin() {
+func (m *metrics) incHedgeWon() {
 	if m != nil {
-		m.hedgeWins.Inc()
+		m.hedgesWon.Inc()
+	}
+}
+
+func (m *metrics) incHedgeLost() {
+	if m != nil {
+		m.hedgesLost.Inc()
+	}
+}
+
+func (m *metrics) incHedgeCanceled() {
+	if m != nil {
+		m.hedgesCanceled.Inc()
 	}
 }
 

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"involution/internal/obs"
+	"involution/internal/obs/tracing"
+	"involution/internal/server"
+	"involution/internal/server/api"
+)
+
+// TestTracePropagationAcrossHop runs one shard through a traced
+// coordinator against a real simd node and checks the two halves of the
+// story stitch: the coordinator's dispatch/attempt spans and the node's
+// job/sim spans share one trace, and the node's job root is parented on
+// the coordinator's attempt span — the cross-process edge `simctl trace`
+// renders.
+func TestTracePropagationAcrossHop(t *testing.T) {
+	node := startNode(t, server.Config{Advertise: "node-a"})
+	buf := &tracing.Buffer{}
+	tr := tracing.New("simctl", buf)
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{
+		Peers: []string{node}, Timeout: 30 * time.Second,
+		Registry: reg, Tracer: tr,
+	})
+
+	root := tr.StartRoot("campaign")
+	ctx := tracing.ContextWith(context.Background(), root)
+	rec, err := c.RunOne(ctx, api.Request{Netlist: bufNetlist, Horizon: 10, Seed: 7})
+	root.End()
+	if err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	trace := root.Context().TraceID
+	if rec.TraceID != trace {
+		t.Fatalf("node job record trace_id = %q, want campaign trace %q", rec.TraceID, trace)
+	}
+
+	// Coordinator side: campaign → dispatch → attempt, all one trace.
+	local := map[string]tracing.SpanRec{}
+	for _, sp := range buf.Spans() {
+		local[sp.Name] = sp
+		if sp.TraceID != trace {
+			t.Fatalf("local span %s on trace %s, want %s", sp.Name, sp.TraceID, trace)
+		}
+	}
+	dispatch, attempt := local["dispatch"], local["attempt"]
+	if dispatch.Parent != root.Context().SpanID {
+		t.Fatalf("dispatch span parent = %q, want campaign root %q", dispatch.Parent, root.Context().SpanID)
+	}
+	if attempt.Parent != dispatch.SpanID {
+		t.Fatalf("attempt span parent = %q, want dispatch %q", attempt.Parent, dispatch.SpanID)
+	}
+	if attempt.Attr("node") != node || attempt.Attr("hedged") != "0" {
+		t.Fatalf("attempt span attrs = %v", attempt.Attrs)
+	}
+
+	// Node side: the flight-recorder entry for the trace, with the job root
+	// parented on the coordinator's attempt span.
+	resp, err := http.Get("http://" + node + "/debug/jobs?trace=" + trace)
+	if err != nil {
+		t.Fatalf("GET /debug/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/jobs: status %d", resp.StatusCode)
+	}
+	var entries []tracing.JobEntry
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e tracing.JobEntry
+		if err := dec.Decode(&e); err != nil {
+			break
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("node retained %d entries for the trace, want 1", len(entries))
+	}
+	var jobRoot *tracing.SpanRec
+	for i := range entries[0].Spans {
+		if entries[0].Spans[i].Name == "job" {
+			jobRoot = &entries[0].Spans[i]
+		}
+	}
+	if jobRoot == nil {
+		t.Fatalf("node entry has no job root: %v", entries[0].Spans)
+	}
+	if jobRoot.TraceID != trace || jobRoot.Parent != attempt.SpanID {
+		t.Fatalf("job root = trace %s parent %s, want trace %s parent %s (the attempt span)",
+			jobRoot.TraceID, jobRoot.Parent, trace, attempt.SpanID)
+	}
+	if jobRoot.Node != "node-a" {
+		t.Fatalf("job root node label = %q, want node-a", jobRoot.Node)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"involution/internal/obs"
+	"involution/internal/obs/tracing"
 	"involution/internal/sched"
 	"involution/internal/sim"
 )
@@ -45,6 +46,13 @@ type Options struct {
 	// Scenarios the executor rejects with ErrNotRemotable (wrapper faults)
 	// transparently run locally. The baseline always runs locally.
 	Executor Executor
+	// Tracer, when non-nil, records one "scenario" span per scenario
+	// (covering its whole retry ladder, started when a worker picks it up
+	// — queue time is the gap from the campaign root) plus a "baseline"
+	// span. Scenario spans ride the context into the Executor, so remote
+	// scenarios stitch into the same trace across the cluster hop. Nil
+	// disables tracing at zero cost.
+	Tracer *tracing.Tracer
 }
 
 // ErrInterrupted reports that the engine's context was canceled before
@@ -143,7 +151,9 @@ func (e *Engine) Run(ctx context.Context, scenarios []Scenario) (*Report, error)
 	}
 
 	simOpts := sim.Options{Horizon: c.Horizon, MaxEvents: c.MaxEvents, Deadline: c.Deadline, Context: ctx}
+	_, baseSp := opts.Tracer.StartSpan(ctx, "baseline")
 	base, err := sim.Run(c.Circuit, c.Inputs, simOpts)
+	baseSp.End()
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("%w during baseline run: %v", ErrInterrupted, err)
@@ -196,7 +206,21 @@ func (e *Engine) Run(ctx context.Context, scenarios []Scenario) (*Report, error)
 	)
 	sched.ForEach(ctx, opts.Workers, len(pending), func(k int) {
 		i := pending[k]
-		row := e.runAttempts(ctx, opts, scenarios[i], simOpts, base, outputs, probes, met)
+		// The scenario span starts when a worker picks the scenario up, so
+		// summing scenario-span durations measures engine busy time — the
+		// numerator of parallel efficiency.
+		sctx, sp := opts.Tracer.StartSpan(ctx, "scenario")
+		sp.SetAttrs(
+			tracing.Int("id", int64(scenarios[i].ID)),
+			tracing.Str("site", scenarios[i].Site.Label()),
+			tracing.Str("model", scenarios[i].Model.String()),
+		)
+		row := e.runAttempts(sctx, opts, scenarios[i], simOpts, base, outputs, probes, met)
+		sp.SetAttrs(tracing.Int("attempts", int64(row.Attempts)), tracing.Str("outcome", row.Outcome))
+		if row.Abort != "" {
+			sp.SetAbort(row.Abort)
+		}
+		sp.End()
 		if sim.Class(row.Abort) == sim.ClassCanceled {
 			// The attempt was cut short by cancellation, not by the
 			// scenario itself: leave the slot unfinished so a

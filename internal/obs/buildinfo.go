@@ -1,0 +1,21 @@
+package obs
+
+import "runtime"
+
+// RegisterBuildInfo publishes the canonical `build_info` info metric —
+// service name, version, Go toolchain and platform — into the registry.
+// It renders in Prometheus as
+//
+//	build_info{service="simd",version="dev",go_version="go1.22",goos="linux",goarch="amd64"} 1
+//
+// and in JSON/expvar snapshots as a labeled info sample. Call it once per
+// process after the version is known; re-registering replaces the labels.
+func RegisterBuildInfo(r *Registry, service, version string) {
+	r.Info("build_info", "build and runtime identity of the serving binary",
+		Label{Key: "service", Value: service},
+		Label{Key: "version", Value: version},
+		Label{Key: "go_version", Value: runtime.Version()},
+		Label{Key: "goos", Value: runtime.GOOS},
+		Label{Key: "goarch", Value: runtime.GOARCH},
+	)
+}

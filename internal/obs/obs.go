@@ -29,6 +29,7 @@ const (
 	KindCounter   Kind = "counter"
 	KindGauge     Kind = "gauge"
 	KindHistogram Kind = "histogram"
+	KindInfo      Kind = "info"
 )
 
 // Counter is a monotonically increasing integer metric.
@@ -103,6 +104,45 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the cumulative buckets, interpolating linearly within
+// the bucket that crosses the target rank (the Prometheus
+// histogram_quantile estimator). The lowest bucket interpolates from 0;
+// a rank landing in the +Inf overflow bucket reports the highest finite
+// bound — quantiles never invent values beyond the layout. With no
+// observations Quantile returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.uppers {
+		cum += h.counts[i].Load()
+		if float64(cum) >= rank {
+			upper := h.uppers[i]
+			lower := 0.0
+			if i > 0 {
+				lower = h.uppers[i-1]
+			}
+			inBucket := h.counts[i].Load()
+			if inBucket == 0 {
+				return upper
+			}
+			below := float64(cum - inBucket)
+			return lower + (upper-lower)*(rank-below)/float64(inBucket)
+		}
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
 // LinearBuckets returns n upper bounds start, start+width, … .
 func LinearBuckets(start, width float64, n int) []float64 {
 	out := make([]float64, n)
@@ -136,6 +176,7 @@ type Registry struct {
 	counter map[string]*Counter
 	gauge   map[string]*Gauge
 	hist    map[string]*Histogram
+	info    map[string][]Label
 }
 
 // NewRegistry returns an empty registry.
@@ -146,6 +187,7 @@ func NewRegistry() *Registry {
 		counter: map[string]*Counter{},
 		gauge:   map[string]*Gauge{},
 		hist:    map[string]*Histogram{},
+		info:    map[string][]Label{},
 	}
 }
 
@@ -198,6 +240,23 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 		r.hist[name] = h
 	}
 	return h
+}
+
+// Label is one key/value pair of an info metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Info registers a constant informational metric: a labeled series with
+// the fixed value 1, the Prometheus build_info idiom. Re-registering the
+// same name replaces its labels (they describe the current process).
+// Labels are emitted in the given order.
+func (r *Registry) Info(name, help string, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, help, KindInfo)
+	r.info[name] = append([]Label(nil), labels...)
 }
 
 func (r *Registry) claim(name, help string, k Kind) {
@@ -258,9 +317,22 @@ type Sample struct {
 	Name    string        `json:"name"`
 	Kind    Kind          `json:"kind"`
 	Help    string        `json:"help,omitempty"`
-	Value   float64       `json:"value"`           // counter/gauge value; histogram sum
+	Value   float64       `json:"value"`           // counter/gauge value; histogram sum; 1 for info
 	Count   int64         `json:"count,omitempty"` // histogram observation count
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Quantiles are the estimated p50/p95/p99 of a histogram with at least
+	// one observation (see Histogram.Quantile for the estimator).
+	Quantiles *Quantiles `json:"quantiles,omitempty"`
+	// Labels are the key/value pairs of an info metric.
+	Labels []Label `json:"labels,omitempty"`
+}
+
+// Quantiles is the fixed latency-quantile summary attached to histogram
+// samples.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // Snapshot returns all metrics in sorted name order. Histogram bucket
@@ -295,6 +367,16 @@ func (r *Registry) Snapshot() []Sample {
 				}
 				s.Buckets = append(s.Buckets, BucketCount{Upper: upper, Count: cum})
 			}
+			if s.Count > 0 {
+				s.Quantiles = &Quantiles{
+					P50: h.Quantile(0.50),
+					P95: h.Quantile(0.95),
+					P99: h.Quantile(0.99),
+				}
+			}
+		case KindInfo:
+			s.Value = 1
+			s.Labels = append([]Label(nil), r.info[n]...)
 		}
 		out = append(out, s)
 	}

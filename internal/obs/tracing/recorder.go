@@ -1,0 +1,173 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobEntry is one job's retained span tree in the flight recorder — the
+// /debug/jobs JSONL line.
+type JobEntry struct {
+	// Hash is the job's content-address (the result-cache key).
+	Hash string `json:"hash"`
+	// TraceID is the trace the job's spans belong to.
+	TraceID string `json:"trace"`
+	// Node labels the process that retained the entry.
+	Node string `json:"node,omitempty"`
+	// Status is "completed" or "aborted".
+	Status string `json:"status"`
+	// Class is the sim abort class for aborted jobs.
+	Class string `json:"class,omitempty"`
+	// Start is the job's wall-clock start (root span start).
+	Start time.Time `json:"start"`
+	// DurNS is the job's wall-clock duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Spans is the job's full span tree as recorded on this node.
+	Spans []SpanRec `json:"spans"`
+}
+
+// Duration returns the entry's wall-clock duration.
+func (e JobEntry) Duration() time.Duration { return time.Duration(e.DurNS) }
+
+// FlightRecorder is a bounded in-memory store of span trees for the jobs
+// worth asking "where did the time go?" about: the slowest SlowN jobs seen
+// so far and the most recent AbortedN aborted jobs. Memory is strictly
+// bounded by those two knobs regardless of traffic; everything else is
+// dropped once its latency verdict is in.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	slowN    int
+	abortedN int
+	// slow is kept sorted ascending by duration; index 0 is the eviction
+	// candidate. SlowN is small (tens), so insertion is O(SlowN).
+	slow []JobEntry
+	// aborted is a FIFO ring of the most recent aborted jobs.
+	aborted []JobEntry
+	// recorded / dropped count lifetime intake for the recorder gauges.
+	recorded int64
+	dropped  int64
+}
+
+// NewFlightRecorder returns a recorder retaining the slowest slowN jobs
+// and the most recent abortedN aborted jobs. Non-positive bounds disable
+// the respective retention class.
+func NewFlightRecorder(slowN, abortedN int) *FlightRecorder {
+	if slowN < 0 {
+		slowN = 0
+	}
+	if abortedN < 0 {
+		abortedN = 0
+	}
+	return &FlightRecorder{slowN: slowN, abortedN: abortedN}
+}
+
+// Record offers one finished job to the recorder. Aborted jobs go to the
+// aborted ring; completed jobs compete for a slowest-N slot.
+func (r *FlightRecorder) Record(e JobEntry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorded++
+	if e.Status == "aborted" {
+		if r.abortedN == 0 {
+			r.dropped++
+			return
+		}
+		r.aborted = append(r.aborted, e)
+		if len(r.aborted) > r.abortedN {
+			r.aborted = r.aborted[1:]
+			r.dropped++
+		}
+		return
+	}
+	if r.slowN == 0 {
+		r.dropped++
+		return
+	}
+	if len(r.slow) == r.slowN {
+		if e.DurNS <= r.slow[0].DurNS {
+			r.dropped++
+			return
+		}
+		r.slow = r.slow[1:]
+		r.dropped++
+	}
+	i := sort.Search(len(r.slow), func(i int) bool { return r.slow[i].DurNS > e.DurNS })
+	r.slow = append(r.slow, JobEntry{})
+	copy(r.slow[i+1:], r.slow[i:])
+	r.slow[i] = e
+}
+
+// Filter selects flight-recorder entries.
+type Filter struct {
+	// TraceID keeps only entries of that trace ("" matches all).
+	TraceID string
+	// Hash keeps only entries with that content hash ("" matches all).
+	Hash string
+	// Limit caps the number of returned entries (0: no cap). Slowest-first
+	// ordering means the cap keeps the most interesting entries.
+	Limit int
+}
+
+func (f Filter) match(e JobEntry) bool {
+	return (f.TraceID == "" || e.TraceID == f.TraceID) && (f.Hash == "" || e.Hash == f.Hash)
+}
+
+// Entries returns matching retained entries, slowest first (aborted
+// entries compete by duration like the rest).
+func (r *FlightRecorder) Entries(f Filter) []JobEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]JobEntry, 0, len(r.slow)+len(r.aborted))
+	for _, e := range r.slow {
+		if f.match(e) {
+			out = append(out, e)
+		}
+	}
+	for _, e := range r.aborted {
+		if f.match(e) {
+			out = append(out, e)
+		}
+	}
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].DurNS != out[j].DurNS {
+			return out[i].DurNS > out[j].DurNS
+		}
+		return out[i].Start.Before(out[j].Start)
+	})
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Stats returns the recorder's lifetime intake: jobs offered, and jobs
+// dropped or evicted because no bounded slot held them.
+func (r *FlightRecorder) Stats() (recorded, dropped int64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded, r.dropped
+}
+
+// WriteJSONL writes the matching entries as one JSON object per line —
+// the GET /debug/jobs response body.
+func (r *FlightRecorder) WriteJSONL(w io.Writer, f Filter) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Entries(f) {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(hash, trace, status string, dur time.Duration) JobEntry {
+	return JobEntry{
+		Hash: hash, TraceID: trace, Status: status,
+		Start: time.Now(), DurNS: int64(dur),
+		Spans: []SpanRec{{Name: "job"}},
+	}
+}
+
+func TestFlightRecorderKeepsSlowestN(t *testing.T) {
+	r := NewFlightRecorder(3, 2)
+	for i := 1; i <= 10; i++ {
+		r.Record(entry(fmt.Sprintf("h%d", i), "t", "completed", time.Duration(i)*time.Millisecond))
+	}
+	got := r.Entries(Filter{})
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	for i, want := range []string{"h10", "h9", "h8"} {
+		if got[i].Hash != want {
+			t.Fatalf("slowest-first order: got %s at %d, want %s", got[i].Hash, i, want)
+		}
+	}
+	recorded, dropped := r.Stats()
+	if recorded != 10 || dropped != 7 {
+		t.Fatalf("stats recorded=%d dropped=%d, want 10/7", recorded, dropped)
+	}
+}
+
+func TestFlightRecorderSlowInsertUnordered(t *testing.T) {
+	r := NewFlightRecorder(3, 0)
+	for _, ms := range []int{5, 1, 9, 3, 7} {
+		r.Record(entry(fmt.Sprintf("h%d", ms), "t", "completed", time.Duration(ms)*time.Millisecond))
+	}
+	got := r.Entries(Filter{})
+	if len(got) != 3 || got[0].Hash != "h9" || got[1].Hash != "h7" || got[2].Hash != "h5" {
+		t.Fatalf("got %v, want h9,h7,h5", hashes(got))
+	}
+}
+
+func TestFlightRecorderAbortedRing(t *testing.T) {
+	r := NewFlightRecorder(2, 3)
+	// A fast aborted job must be retained even though it would never win a
+	// slow slot.
+	r.Record(entry("fast-abort", "t", "aborted", time.Microsecond))
+	for i := 0; i < 4; i++ {
+		r.Record(entry(fmt.Sprintf("a%d", i), "t", "aborted", time.Millisecond))
+	}
+	got := r.Entries(Filter{})
+	if len(got) != 3 {
+		t.Fatalf("retained %d aborted entries, want 3", len(got))
+	}
+	// FIFO eviction: the oldest two (fast-abort, a0) are gone.
+	for _, e := range got {
+		if e.Hash == "fast-abort" || e.Hash == "a0" {
+			t.Fatalf("oldest aborted entry %s not evicted", e.Hash)
+		}
+	}
+}
+
+func TestFlightRecorderFilters(t *testing.T) {
+	r := NewFlightRecorder(10, 10)
+	r.Record(entry("h1", "trace1", "completed", time.Millisecond))
+	r.Record(entry("h2", "trace1", "aborted", 2*time.Millisecond))
+	r.Record(entry("h3", "trace2", "completed", 3*time.Millisecond))
+
+	if got := r.Entries(Filter{TraceID: "trace1"}); len(got) != 2 {
+		t.Fatalf("trace filter: got %v", hashes(got))
+	}
+	if got := r.Entries(Filter{Hash: "h3"}); len(got) != 1 || got[0].Hash != "h3" {
+		t.Fatalf("hash filter: got %v", hashes(got))
+	}
+	if got := r.Entries(Filter{Limit: 1}); len(got) != 1 || got[0].Hash != "h3" {
+		t.Fatalf("limit keeps slowest: got %v", hashes(got))
+	}
+}
+
+func TestFlightRecorderWriteJSONL(t *testing.T) {
+	r := NewFlightRecorder(5, 5)
+	r.Record(entry("h1", "t1", "completed", time.Millisecond))
+	r.Record(entry("h2", "t1", "aborted", 2*time.Millisecond))
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	var e JobEntry
+	if err := json.Unmarshal(lines[0], &e); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if e.Hash != "h2" || len(e.Spans) != 1 {
+		t.Fatalf("decoded entry %+v, want h2 with 1 span", e)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(8, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				status := "completed"
+				if i%3 == 0 {
+					status = "aborted"
+				}
+				r.Record(entry(fmt.Sprintf("g%d-%d", g, i), "t", status, time.Duration(i)*time.Microsecond))
+				r.Entries(Filter{Limit: 4})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Entries(Filter{}); len(got) != 16 {
+		t.Fatalf("retained %d entries, want 16", len(got))
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(entry("h", "t", "completed", time.Millisecond))
+	if got := r.Entries(Filter{}); got != nil {
+		t.Fatalf("nil recorder returned entries: %v", got)
+	}
+}
+
+func hashes(es []JobEntry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Hash
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline is a merged, tree-ordered view over the spans of one trace,
+// possibly gathered from several nodes' flight recorders plus a local
+// span file. Build with NewTimeline; render with Render.
+type Timeline struct {
+	// TraceID is the rendered trace.
+	TraceID string
+	// Spans holds the deduplicated spans in render order (depth-first,
+	// siblings by start time).
+	Spans []SpanRec
+	// depth[i] is the tree depth of Spans[i].
+	depth []int
+	// start/end bound the trace's wall-clock window.
+	start, end time.Time
+}
+
+// NewTimeline merges spans (from any number of sources) into one ordered
+// timeline. Duplicate span ids keep the first occurrence; spans whose
+// parent is absent render as roots. When traceID is "", the trace of the
+// earliest root span is used and other traces are dropped.
+func NewTimeline(traceID string, spans []SpanRec) *Timeline {
+	// Dedup by span id, keeping first occurrence.
+	seen := make(map[string]bool, len(spans))
+	var all []SpanRec
+	for _, s := range spans {
+		if s.SpanID == "" || seen[s.SpanID] {
+			continue
+		}
+		seen[s.SpanID] = true
+		all = append(all, s)
+	}
+	if traceID == "" {
+		earliest := time.Time{}
+		for _, s := range all {
+			if s.Parent != "" && seen[s.Parent] {
+				continue // not a root
+			}
+			if traceID == "" || s.Start.Before(earliest) {
+				traceID, earliest = s.TraceID, s.Start
+			}
+		}
+	}
+	var kept []SpanRec
+	for _, s := range all {
+		if s.TraceID == traceID {
+			kept = append(kept, s)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Start.Before(kept[j].Start) })
+
+	byID := make(map[string]int, len(kept))
+	children := make(map[string][]int, len(kept))
+	var roots []int
+	for i, s := range kept {
+		byID[s.SpanID] = i
+	}
+	for i, s := range kept {
+		if s.Parent != "" {
+			if _, ok := byID[s.Parent]; ok {
+				children[s.Parent] = append(children[s.Parent], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+
+	tl := &Timeline{TraceID: traceID}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		tl.Spans = append(tl.Spans, kept[i])
+		tl.depth = append(tl.depth, depth)
+		for _, c := range children[kept[i].SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	for _, s := range tl.Spans {
+		if tl.start.IsZero() || s.Start.Before(tl.start) {
+			tl.start = s.Start
+		}
+		if e := s.Start.Add(s.Duration()); e.After(tl.end) {
+			tl.end = e
+		}
+	}
+	return tl
+}
+
+// Wall returns the trace's wall-clock window (first span start to last
+// span end).
+func (tl *Timeline) Wall() time.Duration {
+	if tl.start.IsZero() {
+		return 0
+	}
+	return tl.end.Sub(tl.start)
+}
+
+// Nodes returns the distinct node labels appearing in the timeline, in
+// sorted order.
+func (tl *Timeline) Nodes() []string {
+	set := map[string]bool{}
+	for _, s := range tl.Spans {
+		if s.Node != "" {
+			set[s.Node] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render renders the timeline as an indented text table: per span the
+// offset from trace start, the duration, the tree-indented name, the
+// recording node, the abort class and the attributes.
+func (tl *Timeline) Render(w io.Writer) error {
+	if len(tl.Spans) == 0 {
+		_, err := fmt.Fprintf(w, "trace %s: no spans\n", tl.TraceID)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "trace %s · %d spans · %d nodes · wall %s\n",
+		tl.TraceID, len(tl.Spans), len(tl.Nodes()), fmtDur(tl.Wall())); err != nil {
+		return err
+	}
+	nameWidth := 0
+	for i, s := range tl.Spans {
+		if n := 2*tl.depth[i] + len(s.Name); n > nameWidth {
+			nameWidth = n
+		}
+	}
+	for i, s := range tl.Spans {
+		name := strings.Repeat("· ", tl.depth[i]) + s.Name
+		line := fmt.Sprintf("  +%-9s %-*s %9s  %s",
+			fmtDur(s.Start.Sub(tl.start)), nameWidth, name, fmtDur(s.Duration()), s.Node)
+		if s.Abort != "" {
+			line += "  ABORT:" + s.Abort
+		}
+		for _, a := range s.Attrs {
+			line += " " + a.Key + "=" + a.Value()
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(line, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a duration with µs resolution in milliseconds — readable
+// for both 50µs cache lookups and multi-second simulations.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+}

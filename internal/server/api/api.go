@@ -95,6 +95,11 @@ type Record struct {
 	// Trace marks a job recording a live event trace
 	// (/v1/jobs/{id}/trace).
 	Trace bool `json:"trace,omitempty"`
+	// TraceID is the distributed-trace identifier of the job's span tree —
+	// the key for `simctl trace` and GET /debug/jobs. Set when the serving
+	// node's flight recorder is enabled; inherited from the submit's
+	// traceparent header when one was sent.
+	TraceID string `json:"trace_id,omitempty"`
 	// Submitted/Started/Finished are the lifecycle timestamps.
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
@@ -141,12 +146,18 @@ type Health struct {
 	Advertise string `json:"advertise,omitempty"`
 }
 
-// Version is the GET /version payload.
+// Version is the GET /version payload. GoVersion/GOOS/GOARCH mirror the
+// build_info metric labels so both machine paths report the same identity.
 type Version struct {
 	Service string `json:"service"`
 	Version string `json:"version"`
 	// Advertise mirrors Health.Advertise.
 	Advertise string `json:"advertise,omitempty"`
+	// GoVersion is the toolchain that built the serving binary.
+	GoVersion string `json:"go_version,omitempty"`
+	// GOOS/GOARCH are the serving binary's platform.
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope of non-2xx responses.

@@ -35,6 +35,7 @@ type job struct {
 	ctx    context.Context // passed to sim.Run for cooperative cancellation
 	cancel func()          // cancels ctx (typed sim.ClassCanceled abort)
 	trace  *traceBuf       // nil unless the submit requested tracing
+	tr     *jobTrace       // nil unless the server's flight recorder is on
 	done   chan struct{}
 	finish sync.Once // guards the terminal transition
 

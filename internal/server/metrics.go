@@ -18,12 +18,16 @@ type metrics struct {
 	cacheMisses *obs.Counter
 	queueFull   *obs.Counter
 
-	queueDepth    *obs.Gauge
-	inFlight      *obs.Gauge
-	cacheEntries  *obs.Gauge
-	cacheHitRatio *obs.Gauge
+	queueDepth     *obs.Gauge
+	inFlight       *obs.Gauge
+	cacheEntries   *obs.Gauge
+	cacheHitRatio  *obs.Gauge
+	flightRecorded *obs.Gauge
+	flightDropped  *obs.Gauge
 
-	latency *obs.Histogram
+	latency   *obs.Histogram
+	queueWait *obs.Histogram
+	simRun    *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -35,13 +39,19 @@ func newMetrics(reg *obs.Registry) *metrics {
 		cacheMisses: reg.Counter("simd_cache_misses_total", "submissions that had to run"),
 		queueFull:   reg.Counter("simd_queue_full_total", "submissions rejected because the job queue was full"),
 
-		queueDepth:    reg.Gauge("simd_queue_depth", "jobs waiting in the worker-pool queue"),
-		inFlight:      reg.Gauge("simd_jobs_inflight", "jobs currently simulating"),
-		cacheEntries:  reg.Gauge("simd_cache_entries", "results held by the LRU cache"),
-		cacheHitRatio: reg.Gauge("simd_cache_hit_ratio", "cache hits / (hits + misses) since start"),
+		queueDepth:     reg.Gauge("simd_queue_depth", "jobs waiting in the worker-pool queue"),
+		inFlight:       reg.Gauge("simd_jobs_inflight", "jobs currently simulating"),
+		cacheEntries:   reg.Gauge("simd_cache_entries", "results held by the LRU cache"),
+		cacheHitRatio:  reg.Gauge("simd_cache_hit_ratio", "cache hits / (hits + misses) since start"),
+		flightRecorded: reg.Gauge("simd_flight_recorded_total", "finished jobs offered to the flight recorder"),
+		flightDropped:  reg.Gauge("simd_flight_dropped_total", "flight-recorder offers dropped or evicted by the retention bounds"),
 
 		latency: reg.Histogram("simd_job_latency_seconds", "wall-clock job latency from start to finish",
 			obs.ExpBuckets(0.001, 4, 8)),
+		queueWait: reg.Histogram("simd_queue_wait_seconds", "time between job admission and a worker picking it up",
+			obs.ExpBuckets(1e-5, 4, 10)),
+		simRun: reg.Histogram("simd_sim_run_seconds", "wall-clock time spent inside sim.Run",
+			obs.ExpBuckets(1e-5, 4, 10)),
 	}
 }
 
@@ -56,6 +66,9 @@ func (m *metrics) refresh(s *Server) {
 		ratio = hits / (hits + misses)
 	}
 	m.cacheHitRatio.Set(ratio)
+	recorded, dropped := s.flight.Stats() // nil-safe: 0/0 when tracing is off
+	m.flightRecorded.Set(float64(recorded))
+	m.flightDropped.Set(float64(dropped))
 }
 
 // metricsHandler refreshes the gauges and delegates to the registry's

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"involution/internal/obs"
+	"involution/internal/obs/tracing"
 	"involution/internal/sched"
 	"involution/internal/server/api"
 	"involution/internal/sim"
@@ -64,8 +65,16 @@ type Config struct {
 	Version string
 	// Advertise is the address the node believes it serves on; it is
 	// echoed in /healthz and /version so coordinators can verify they
-	// reached the node they routed to (empty: omitted).
+	// reached the node they routed to (empty: omitted). It also labels the
+	// node's trace spans, so cross-node timelines name real addresses.
 	Advertise string
+	// FlightSlow bounds the flight recorder's slowest-jobs retention and
+	// FlightAborted its recent-aborted-jobs ring (defaults 32 and 64;
+	// negative disables a class). The recorder backs GET /debug/jobs with
+	// full span trees; disabling both turns per-job tracing off entirely,
+	// restoring the zero-allocation submit path.
+	FlightSlow    int
+	FlightAborted int
 }
 
 // Retry-After values (seconds) sent with 503 responses so polite clients —
@@ -80,11 +89,13 @@ const (
 // Server is the simulation service. Create with New, mount Handler, and
 // Drain on shutdown.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	met   *metrics
-	pool  *sched.Pool
-	cache *resultCache
+	cfg    Config
+	reg    *obs.Registry
+	met    *metrics
+	pool   *sched.Pool
+	cache  *resultCache
+	flight *tracing.FlightRecorder // nil: tracing disabled
+	node   string                  // span node label (Advertise or "simd")
 
 	// baseCtx parents every job context; Drain cancels it to convert
 	// stragglers into typed canceled aborts.
@@ -116,6 +127,13 @@ func New(cfg Config) *Server {
 	if cfg.Version == "" {
 		cfg.Version = "dev"
 	}
+	slowN, abortedN := cfg.FlightSlow, cfg.FlightAborted
+	if slowN == 0 {
+		slowN = 32
+	}
+	if abortedN == 0 {
+		abortedN = 64
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      cfg.Registry,
@@ -123,8 +141,16 @@ func New(cfg Config) *Server {
 		cache:    newResultCache(cfg.CacheSize),
 		builtins: defaultBuiltins(),
 		jobs:     make(map[string]*job),
+		node:     cfg.Advertise,
+	}
+	if s.node == "" {
+		s.node = "simd"
+	}
+	if slowN > 0 || abortedN > 0 {
+		s.flight = tracing.NewFlightRecorder(max(slowN, 0), max(abortedN, 0))
 	}
 	s.met = newMetrics(s.reg)
+	obs.RegisterBuildInfo(s.reg, "simd", cfg.Version)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s
 }
@@ -140,6 +166,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	return mux
 }
 
@@ -165,7 +192,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.Version{Service: "simd", Version: s.cfg.Version, Advertise: s.cfg.Advertise})
+	writeJSON(w, http.StatusOK, api.Version{
+		Service: "simd", Version: s.cfg.Version, Advertise: s.cfg.Advertise,
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+	})
 }
 
 func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
@@ -178,6 +208,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	t0 := time.Now()
+	remote, _ := tracing.ParseTraceparent(r.Header.Get(tracing.TraceparentHeader))
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
@@ -208,6 +240,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if raw, ok := s.cache.get(c.hash); ok {
 		s.met.cacheHits.Inc()
 		j := s.register(c, false)
+		s.beginTrace(j, remote, t0)
+		j.traceCacheLookup(true)
 		now := time.Now()
 		j.finish.Do(func() {
 			j.mu.Lock()
@@ -216,6 +250,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.rec.Finished = &now
 			j.rec.Result = raw
 			j.mu.Unlock()
+			s.finishTrace(j, now, StatusCompleted, "")
 			close(j.done)
 		})
 		writeJSON(w, http.StatusOK, j.snapshot())
@@ -224,6 +259,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.met.cacheMisses.Inc()
 
 	j := s.register(c, wantTrace)
+	s.beginTrace(j, remote, t0)
+	j.traceCacheLookup(false)
+	j.traceEnqueue()
 	if err := s.pool.Submit(func() { s.runJob(j) }); err != nil {
 		s.unregister(j)
 		if errors.Is(err, sched.ErrQueueFull) {
@@ -381,7 +419,15 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.rec.Status = StatusRunning
 	j.rec.Started = &start
+	submitted := j.rec.Submitted
 	j.mu.Unlock()
+	s.met.queueWait.Observe(start.Sub(submitted).Seconds())
+
+	var simSp *tracing.Span
+	if j.tr != nil {
+		j.tr.queue.EndAt(start)
+		simSp = j.tr.tracer.StartChild(j.tr.root, "sim")
+	}
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -404,7 +450,11 @@ func (s *Server) runJob(j *job) {
 	if j.trace != nil {
 		opts.Observer = newLiveTrace(j.trace)
 	}
+	simStart := time.Now()
 	res, err := sim.Run(j.c.circuit, j.c.inputs, opts)
+	simEnd := time.Now()
+	s.met.simRun.Observe(simEnd.Sub(simStart).Seconds())
+	simSp.SetStart(simStart)
 
 	var p ResultPayload
 	switch {
@@ -444,6 +494,17 @@ func (s *Server) runJob(j *job) {
 			}
 		}
 	}
+	if simSp != nil {
+		simSp.SetAttrs(
+			tracing.Int("scheduled", p.Stats.Scheduled),
+			tracing.Int("delivered", p.Stats.Delivered),
+			tracing.Int("delta_cycles", p.Stats.DeltaCycles),
+		)
+		if p.Status == StatusAborted {
+			simSp.SetAbort(p.Class)
+		}
+		simSp.EndAt(simEnd)
+	}
 	s.finishJob(j, start, p)
 }
 
@@ -475,6 +536,7 @@ func (s *Server) finishJob(j *job, start time.Time, p ResultPayload) {
 			s.met.aborted.Inc()
 		}
 		s.met.latency.Observe(end.Sub(start).Seconds())
+		s.finishTrace(j, end, p.Status, p.Class)
 		if j.trace != nil {
 			j.trace.close()
 		}
