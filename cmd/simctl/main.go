@@ -42,12 +42,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	ossignal "os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"involution/internal/chaos"
 	"involution/internal/cluster"
 	"involution/internal/experiments"
 	"involution/internal/fault"
@@ -77,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runTrace(args[1:], stdout, stderr)
 	case "top":
 		return runTop(args[1:], stdout, stderr)
+	case "chaos-soak":
+		return runChaosSoak(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -93,6 +97,7 @@ func usage(w io.Writer) {
   simctl campaign -peers <addr,...> -f <netlist> [flags]   overlay-fault campaign
   simctl trace    <trace-id|job-hash> -peers <addr,...> [-spans file]   render one trace's cross-node timeline
   simctl top      -peers <addr,...> [-n 10] [-once]   slowest retained jobs across the fleet
+  simctl chaos-soak -peers <addr,...> [-schedules 2] [-dir out]   byte-identity soak under seeded chaos + coordinator kill/resume
 
 run 'simctl <command> -h' for the command's flags
 `)
@@ -105,6 +110,9 @@ type clusterFlags struct {
 	hedge        time.Duration
 	retries      int
 	nodeInFlight int
+	chaos        string
+	checkpoint   string
+	resume       bool
 }
 
 func (cf *clusterFlags) register(fs *flag.FlagSet) {
@@ -113,12 +121,26 @@ func (cf *clusterFlags) register(fs *flag.FlagSet) {
 	fs.DurationVar(&cf.hedge, "hedge", 0, "straggler delay before hedging a shard onto a second node (0: no hedging)")
 	fs.IntVar(&cf.retries, "retries", 0, "per-shard reschedules across distinct nodes (0: try every node once)")
 	fs.IntVar(&cf.nodeInFlight, "node-inflight", 4, "concurrent requests per node")
+	fs.StringVar(&cf.chaos, "chaos", "", "inject faults from this chaos schedule (JSON) into every exchange")
+	fs.StringVar(&cf.checkpoint, "checkpoint", "", "crash-safe result journal: completed shards are durable before they are surfaced")
+	fs.BoolVar(&cf.resume, "resume", false, "replay completed shards from the -checkpoint journal instead of truncating it")
 }
 
 func (cf *clusterFlags) coordinator(reg *obs.Registry, tracer *tracing.Tracer) (*cluster.Coordinator, error) {
 	peers := splitPeers(cf.peers)
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("-peers is required (comma-separated simd addresses)")
+	}
+	if cf.resume && cf.checkpoint == "" {
+		return nil, fmt.Errorf("-resume needs -checkpoint")
+	}
+	var transport http.RoundTripper
+	if cf.chaos != "" {
+		sched, err := chaos.LoadSchedule(cf.chaos)
+		if err != nil {
+			return nil, err
+		}
+		transport = chaos.NewTransport(sched, cluster.DefaultTransport(2*cf.nodeInFlight)).WithRegistry(reg)
 	}
 	return cluster.NewCoordinator(cluster.Options{
 		Peers:        peers,
@@ -128,6 +150,9 @@ func (cf *clusterFlags) coordinator(reg *obs.Registry, tracer *tracing.Tracer) (
 		NodeInFlight: cf.nodeInFlight,
 		Registry:     reg,
 		Tracer:       tracer,
+		Transport:    transport,
+		Checkpoint:   cf.checkpoint,
+		Resume:       cf.resume,
 	})
 }
 
@@ -431,10 +456,11 @@ func clusterSummary(w io.Writer, reg *obs.Registry) {
 	for _, s := range reg.Snapshot() {
 		vals[s.Name] = s.Value
 	}
-	fmt.Fprintf(w, "cluster: %.0f dispatched, %.0f hedges (%.0f won / %.0f lost / %.0f canceled), %.0f reschedules, %.0f attempt failures, %.0f remote cache hits\n",
+	fmt.Fprintf(w, "cluster: %.0f dispatched, %.0f hedges (%.0f won / %.0f lost / %.0f canceled), %.0f reschedules, %.0f attempt failures, %.0f remote cache hits, %.0f integrity failures, %.0f checkpoint replays\n",
 		vals["cluster_dispatch_total"], vals["cluster_hedge_total"],
 		vals["cluster_hedges_won_total"], vals["cluster_hedges_lost_total"], vals["cluster_hedges_canceled_total"],
-		vals["cluster_reschedule_total"], vals["cluster_attempt_failure_total"], vals["cluster_remote_cache_hit_total"])
+		vals["cluster_reschedule_total"], vals["cluster_attempt_failure_total"], vals["cluster_remote_cache_hit_total"],
+		vals["cluster_integrity_failures_total"], vals["cluster_checkpoint_replayed_total"])
 }
 
 // writeReport writes one report rendering to path ("-" = stdout, "" = skip).

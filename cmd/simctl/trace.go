@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"involution/internal/obs/tracing"
+	"involution/internal/server/api"
 	"involution/internal/sim"
 )
 
@@ -136,6 +137,29 @@ func fetchDebugJobs(ctx context.Context, addr, query string) ([]tracing.JobEntry
 	}
 }
 
+// fetchHealth pulls one node's /healthz snapshot (status plus live queue
+// depth and running-job count).
+func fetchHealth(ctx context.Context, addr string) (api.Health, error) {
+	base := addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/healthz", nil)
+	if err != nil {
+		return api.Health{}, fmt.Errorf("%s: %w", addr, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return api.Health{}, fmt.Errorf("%s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return api.Health{}, fmt.Errorf("%s: decoding /healthz: %w", addr, err)
+	}
+	return h, nil
+}
+
 func splitPeers(s string) []string {
 	var peers []string
 	for _, p := range strings.Split(s, ",") {
@@ -245,6 +269,20 @@ func runTop(args []string, stdout, stderr io.Writer) int {
 	defer stopSignals()
 
 	for {
+		// Fleet load first: live queue depth and running jobs per node.
+		fmt.Fprintf(stdout, "%-20s %-10s %8s %8s\n", "NODE", "HEALTH", "QUEUE", "RUNNING")
+		for _, addr := range peers {
+			fctx, cancel := context.WithTimeout(ctx, *timeout)
+			h, err := fetchHealth(fctx, addr)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(stdout, "%-20s %-10s %8s %8s\n", addr, "down", "-", "-")
+				continue
+			}
+			fmt.Fprintf(stdout, "%-20s %-10s %8d %8d\n", addr, h.Status, h.Queue, h.Running)
+		}
+		fmt.Fprintln(stdout)
+
 		var all []tracing.JobEntry
 		for _, addr := range peers {
 			fctx, cancel := context.WithTimeout(ctx, *timeout)

@@ -11,6 +11,7 @@
 //	simd                                  # listen on :8080
 //	simd -listen :9090 -workers 8 -queue 128 -cache 512
 //	simd -jobs-json jobs.jsonl -drain 30s
+//	simd -chaos schedule.json               # serve through a fault-injecting middleware (testing)
 //
 // Endpoints: POST /v1/jobs (submit; ?wait=1 blocks for the result,
 // ?stream=trace streams the live event trace and cancels the job if the
@@ -45,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"involution/internal/chaos"
 	"involution/internal/server"
 	"involution/internal/sim"
 )
@@ -67,6 +69,7 @@ func run() int {
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound; stragglers are canceled after it")
 	flightSlow := fs.Int("flight-slow", 0, "flight-recorder slots for the slowest traced jobs (0: default 32, negative: off)")
 	flightAborted := fs.Int("flight-aborted", 0, "flight-recorder slots for recent aborted jobs (0: default 64, negative: off)")
+	chaosPath := fs.String("chaos", "", "inject faults from this chaos schedule (JSON) into every served exchange — testing only")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return sim.ExitUsage
 	}
@@ -83,7 +86,18 @@ func run() int {
 		FlightSlow:    *flightSlow,
 		FlightAborted: *flightAborted,
 	})
-	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *chaosPath != "" {
+		sched, err := chaos.LoadSchedule(*chaosPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: -chaos: %v\n", err)
+			return sim.ExitUsage
+		}
+		fmt.Fprintf(os.Stderr, "simd: CHAOS MODE — injecting schedule %q (seed %d, %d rules)\n",
+			sched.Name, sched.Seed, len(sched.Rules))
+		handler = chaos.Middleware(sched, handler)
+	}
+	hs := &http.Server{Addr: *listen, Handler: handler}
 
 	ctx, stop := ossignal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

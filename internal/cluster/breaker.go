@@ -105,6 +105,30 @@ func (b *breaker) failure() {
 	}
 }
 
+// admitAt reports when the breaker could next admit a request: the zero
+// time when allow() would succeed right now, the end of the current
+// cooldown while open, or a short poll horizon while a half-open trial is
+// in flight (the trial's outcome, not the clock, decides what happens
+// next).
+func (b *breaker) admitAt() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if end := b.openedAt.Add(b.cooldown); b.now().Sub(b.openedAt) < b.cooldown {
+			return end
+		}
+		return time.Time{}
+	case breakerHalfOpen:
+		if b.trial {
+			return b.now().Add(b.cooldown / 10)
+		}
+		return time.Time{}
+	default:
+		return time.Time{}
+	}
+}
+
 // current returns the state for metrics/snapshots.
 func (b *breaker) current() breakerState {
 	b.mu.Lock()

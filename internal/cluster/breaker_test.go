@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -71,5 +73,57 @@ func TestBreakerHalfOpenTrial(t *testing.T) {
 	}
 	if !b.allow() || !b.allow() {
 		t.Fatal("closed breaker should admit freely")
+	}
+}
+
+// TestBreakerConcurrentHalfOpenSingleTrial races many goroutines against a
+// cooled-down breaker: exactly one may win the half-open trial slot, a
+// failed trial re-opens the breaker (nobody admitted until the next
+// cooldown), and a successful second trial closes it. Run under -race.
+func TestBreakerConcurrentHalfOpenSingleTrial(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.failure() // trip
+	clk.advance(2 * time.Second)
+
+	const probes = 32
+	race := func() int64 {
+		var admitted atomic.Int64
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(probes)
+		for i := 0; i < probes; i++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if b.allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		return admitted.Load()
+	}
+
+	if got := race(); got != 1 {
+		t.Fatalf("half-open breaker admitted %d concurrent probes, want exactly 1", got)
+	}
+	// The single trial fails: open again, nothing admitted before cooldown.
+	b.failure()
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", got)
+	}
+	if got := race(); got != 0 {
+		t.Fatalf("re-opened breaker admitted %d probes before cooldown, want 0", got)
+	}
+	// Next cooldown: again exactly one trial; success closes for everyone.
+	clk.advance(2 * time.Second)
+	if got := race(); got != 1 {
+		t.Fatalf("second half-open race admitted %d, want exactly 1", got)
+	}
+	b.success()
+	if got := race(); got != probes {
+		t.Fatalf("closed breaker admitted %d of %d, want all", got, probes)
 	}
 }

@@ -60,6 +60,10 @@ type Client struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	seed        int64
+	// onIntegrity, when set, is called once per failed end-to-end record
+	// verification (the coordinator counts these in
+	// cluster_integrity_failures_total).
+	onIntegrity func()
 }
 
 // NewClient returns a client issuing attempts bounded by timeout, with up
@@ -74,13 +78,31 @@ func NewClient(timeout time.Duration, retries int, seed int64) *Client {
 		retries = 0
 	}
 	return &Client{
-		hc:          &http.Client{},
+		hc:          &http.Client{Transport: DefaultTransport(0)},
 		timeout:     timeout,
 		retries:     retries,
 		backoffBase: 50 * time.Millisecond,
 		backoffMax:  2 * time.Second,
 		seed:        seed,
 	}
+}
+
+// SetTransport replaces the client's HTTP transport — the seam the chaos
+// harness injects through and the coordinator tunes pool width through.
+// Nil restores DefaultTransport(0).
+func (c *Client) SetTransport(rt http.RoundTripper) {
+	if rt == nil {
+		rt = DefaultTransport(0)
+	}
+	c.hc.Transport = rt
+}
+
+// integrityFail counts and returns one failed verification.
+func (c *Client) integrityFail(err error) error {
+	if c.onIntegrity != nil {
+		c.onIntegrity()
+	}
+	return err
 }
 
 // baseURL normalizes a peer address to a URL prefix.
@@ -101,9 +123,21 @@ func (c *Client) Submit(ctx context.Context, node string, req api.Request) (api.
 	if err != nil {
 		return api.Record{}, fmt.Errorf("cluster: encoding request: %w", err)
 	}
+	key := req.RouteKey()
 	var rec api.Record
 	err = c.do(ctx, node, func(actx context.Context) error {
-		return c.postJSON(actx, node, "/v1/jobs?wait=1", body, &rec)
+		rec = api.Record{}
+		if err := c.postJSON(actx, node, "/v1/jobs?wait=1", body, key, &rec); err != nil {
+			return err
+		}
+		// End-to-end verification: the transport and the node both said
+		// 2xx, but the payload must also check out against its own hash
+		// (see IntegrityError). A failure retries through the same ladder
+		// as a transport fault.
+		if err := verifyRecord(node, &rec); err != nil {
+			return c.integrityFail(err)
+		}
+		return nil
 	})
 	return rec, err
 }
@@ -189,18 +223,21 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-func (c *Client) postJSON(ctx context.Context, node, path string, body []byte, out any) error {
+func (c *Client) postJSON(ctx context.Context, node, path string, body []byte, key string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL(node)+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", node, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(api.ContentKeyHeader, key)
+	}
 	// Propagate the caller's span (if any) so the node's job spans join the
 	// caller's trace — the cross-node half of `simctl trace`.
 	if sc := tracing.FromContext(ctx).Context(); sc.Valid() {
 		req.Header.Set(tracing.TraceparentHeader, sc.Traceparent())
 	}
-	return c.roundTrip(node, req, out)
+	return c.roundTrip(node, req, key, out)
 }
 
 func (c *Client) getJSON(ctx context.Context, node, path string, out any) error {
@@ -208,13 +245,15 @@ func (c *Client) getJSON(ctx context.Context, node, path string, out any) error 
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", node, err)
 	}
-	return c.roundTrip(node, req, out)
+	return c.roundTrip(node, req, "", out)
 }
 
 // roundTrip executes the request and decodes a 2xx JSON body into out. A
 // non-2xx answer becomes a *StatusError carrying the server's error body
-// and Retry-After.
-func (c *Client) roundTrip(node string, req *http.Request, out any) error {
+// and Retry-After. When a content key was sent, a 2xx reply that echoes a
+// different key is a wrong-job reply and fails verification (nodes
+// predating the header echo nothing, which passes).
+func (c *Client) roundTrip(node string, req *http.Request, key string, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", node, err)
@@ -238,6 +277,14 @@ func (c *Client) roundTrip(node string, req *http.Request, out any) error {
 			}
 		}
 		return se
+	}
+	if key != "" {
+		if echo := resp.Header.Get(api.ContentKeyHeader); echo != "" && echo != key {
+			return c.integrityFail(&IntegrityError{
+				Node:   node,
+				Reason: fmt.Sprintf("wrong-job reply: sent content key %.12s…, node echoed %.12s…", key, echo),
+			})
+		}
 	}
 	if out == nil {
 		return nil

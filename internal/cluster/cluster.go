@@ -34,6 +34,7 @@ package cluster
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
 	"involution/internal/obs"
@@ -69,6 +70,17 @@ type Options struct {
 	// propagates trace context to nodes via the traceparent header. Nil —
 	// the default — disables tracing at zero cost.
 	Tracer *tracing.Tracer
+	// Transport overrides the client's HTTP transport (nil: a tuned
+	// DefaultTransport sized to NodeInFlight). The chaos harness injects
+	// its fault transport here.
+	Transport http.RoundTripper
+	// Checkpoint, when non-empty, is the path of a crash-safe result
+	// journal: every completed shard is made durable before its result is
+	// surfaced, and with Resume true journaled shards replay without
+	// dispatch — a SIGKILLed coordinator re-run redoes only missing slots.
+	Checkpoint string
+	// Resume loads an existing Checkpoint journal instead of truncating it.
+	Resume bool
 }
 
 // withDefaults returns a copy with unset knobs at their defaults.

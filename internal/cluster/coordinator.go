@@ -26,6 +26,8 @@ type node struct {
 	sem      chan struct{} // bounds in-flight requests to this node
 	healthy  *obs.Gauge
 	inflight *obs.Gauge
+	queue    *obs.Gauge // queue depth the node last reported via /healthz
+	running  *obs.Gauge // running jobs the node last reported via /healthz
 }
 
 func (n *node) acquire(ctx context.Context) error {
@@ -56,6 +58,7 @@ type Coordinator struct {
 	nodes    map[string]*node
 	met      *metrics
 	mismatch *obs.Counter
+	journal  *Journal // nil: no checkpoint
 
 	stopProbe func()
 	probeDone chan struct{}
@@ -76,6 +79,22 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		nodes:  make(map[string]*node, len(opts.Peers)),
 		met:    newMetrics(opts.Registry),
 	}
+	// Size the connection pool for the coordinator's actual concurrency
+	// (hedges double the per-node demand), or take the caller's transport
+	// as-is — the chaos harness's injection seam.
+	if opts.Transport != nil {
+		c.client.SetTransport(opts.Transport)
+	} else {
+		c.client.SetTransport(DefaultTransport(2 * opts.NodeInFlight))
+	}
+	c.client.onIntegrity = c.met.incIntegrity
+	if opts.Checkpoint != "" {
+		j, err := OpenJournal(opts.Checkpoint, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+	}
 	if opts.Registry != nil {
 		c.mismatch = opts.Registry.Counter("cluster_advertise_mismatch_total",
 			"health probes answered by a node advertising a different address than routed")
@@ -88,6 +107,8 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		}
 		n.healthy = c.met.nodeHealthy(addr)
 		n.inflight = c.met.nodeInFlight(addr)
+		n.queue = c.met.nodeQueue(addr)
+		n.running = c.met.nodeRunning(addr)
 		gaugeSet(n.healthy, 1)
 		c.nodes[addr] = n
 	}
@@ -100,12 +121,17 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close stops the health prober. In-flight Run calls are unaffected.
+// Close stops the health prober and releases the checkpoint journal.
+// In-flight Run calls are unaffected (but must not outlive Close when a
+// checkpoint is configured).
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		if c.stopProbe != nil {
 			c.stopProbe()
 			<-c.probeDone
+		}
+		if c.journal != nil {
+			c.journal.Close()
 		}
 	})
 }
@@ -132,6 +158,8 @@ func (c *Coordinator) probeLoop(ctx context.Context) {
 				n.br.failure()
 			} else {
 				n.br.success()
+				gaugeSet(n.queue, float64(h.Queue))
+				gaugeSet(n.running, float64(h.Running))
 				if h.Advertise != "" && h.Advertise != n.addr && c.mismatch != nil {
 					c.mismatch.Inc()
 				}
@@ -207,6 +235,14 @@ func (c *Coordinator) Run(ctx context.Context, reqs []api.Request, workers int) 
 // are terminal. Stragglers are hedged onto the next closed-breaker node.
 func (c *Coordinator) RunOne(ctx context.Context, req api.Request) (api.Record, error) {
 	key := req.RouteKey()
+	// Crash-safe replay: a shard the journal already holds completed in a
+	// previous coordinator life; surface it without touching the network.
+	if c.journal != nil {
+		if rec, ok := c.journal.Lookup(key); ok {
+			c.met.incReplay()
+			return rec, nil
+		}
+	}
 	prefs := c.ring.Order(key)
 	// The dispatch span covers the shard's whole life at the coordinator:
 	// routing, every (re)attempt and hedge, until a record is accepted. It
@@ -235,8 +271,23 @@ func (c *Coordinator) RunOne(ctx context.Context, req api.Request) (api.Record, 
 		}
 		primary, idx := c.pick(prefs, cursor)
 		if primary == nil {
-			lastErr = ErrNoNodes
-			return sched.Retry // breakers may close after a cooldown
+			// Every breaker is refusing. Nothing was dispatched, so this
+			// must not consume the shard's reschedule budget (shards racing
+			// for the single half-open trial slot would drain their ladders
+			// just waiting): wait up to one full cooldown for readmission,
+			// and only charge a retry if the fleet still refuses after it.
+			waitUntil := time.Now().Add(c.opts.BreakerCooldown)
+			for primary == nil && ctx.Err() == nil && time.Now().Before(waitUntil) {
+				c.sleepUntilAdmission(ctx, prefs)
+				primary, idx = c.pick(prefs, cursor)
+			}
+			if primary == nil {
+				lastErr = ErrNoNodes
+				if ctx.Err() != nil {
+					return sched.Done
+				}
+				return sched.Retry
+			}
 		}
 		cursor = idx + 1 // a reschedule starts at the next distinct node
 		rec, lastErr = c.attempt(ctx, primary, c.peek(prefs, idx), req)
@@ -261,7 +312,41 @@ func (c *Coordinator) RunOne(ctx context.Context, req api.Request) (api.Record, 
 		c.met.incRemoteHit()
 		shard.SetAttrs(tracing.Int("remote_cache_hit", 1))
 	}
+	// Make the shard durable before surfacing it: after a crash between
+	// Append and the caller's own flush, re-running the shard replays this
+	// exact record, so the merged output cannot fork.
+	if c.journal != nil {
+		if err := c.journal.Append(key, rec); err != nil {
+			return api.Record{}, err
+		}
+	}
 	return rec, nil
+}
+
+// sleepUntilAdmission blocks until the earliest moment a breaker in prefs
+// could admit a request again (bounded by ctx). Returns immediately if
+// any breaker would already admit — pick lost a race, retry right away.
+func (c *Coordinator) sleepUntilAdmission(ctx context.Context, prefs []string) {
+	var soonest time.Time
+	for _, p := range prefs {
+		at := c.nodes[p].br.admitAt()
+		if at.IsZero() {
+			return
+		}
+		if soonest.IsZero() || at.Before(soonest) {
+			soonest = at
+		}
+	}
+	d := time.Until(soonest)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 // abortClassOf maps a coordinator-side failure to a span abort class.

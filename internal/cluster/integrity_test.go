@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"involution/internal/server"
+	"involution/internal/server/api"
+)
+
+func TestResultHashOfIgnoresIndentation(t *testing.T) {
+	compact := json.RawMessage(`{"a":1,"b":[1,2,3]}`)
+	indented := json.RawMessage("{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2,\n    3\n  ]\n}")
+	h1, h2 := api.ResultHashOf(compact), api.ResultHashOf(indented)
+	if h1 == "" || h1 != h2 {
+		t.Fatalf("hashes differ across re-indentation: %q vs %q", h1, h2)
+	}
+	if api.ResultHashOf(json.RawMessage(`{"a":2}`)) == h1 {
+		t.Fatal("different payloads hash identically")
+	}
+	if api.ResultHashOf(nil) != "" || api.ResultHashOf(json.RawMessage(`{"broken`)) != "" {
+		t.Fatal("empty/invalid payloads must hash to \"\"")
+	}
+}
+
+func TestServerStampsResultHash(t *testing.T) {
+	addr := startNode(t, server.Config{})
+	c := NewClient(10*time.Second, 0, 1)
+	req := api.Request{Netlist: bufNetlist, Horizon: 10}
+	rec, err := c.Submit(context.Background(), addr, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if rec.ResultHash == "" {
+		t.Fatal("completed record has no ResultHash")
+	}
+	if got := api.ResultHashOf(rec.Result); got != rec.ResultHash {
+		t.Fatalf("stamped hash %s does not match payload hash %s", rec.ResultHash, got)
+	}
+	// The cached fast path must stamp identically.
+	rec2, err := c.Submit(context.Background(), addr, req)
+	if err != nil {
+		t.Fatalf("cached Submit: %v", err)
+	}
+	if !rec2.Cached || rec2.ResultHash != rec.ResultHash {
+		t.Fatalf("cached record: cached=%v hash=%s, want cached with hash %s", rec2.Cached, rec2.ResultHash, rec.ResultHash)
+	}
+}
+
+// corruptingProxy fronts a real node, corrupting the first n response
+// bodies by bumping a digit inside the result payload — valid JSON, wrong
+// content, exactly what only the integrity hash can catch.
+func corruptingProxy(t *testing.T, addr string, n int64) (string, *atomic.Int64) {
+	t.Helper()
+	var corrupted atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r2, _ := http.NewRequest(r.Method, "http://"+addr+r.URL.RequestURI(), r.Body)
+		r2.Header = r.Header
+		resp, err := http.DefaultClient.Do(r2)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if ck := resp.Header.Get(api.ContentKeyHeader); ck != "" {
+			w.Header().Set(api.ContentKeyHeader, ck)
+		}
+		if corrupted.Load() < n && bytes.Contains(body, []byte(`"horizon": 10`)) {
+			body = bytes.Replace(body, []byte(`"horizon": 10`), []byte(`"horizon": 99`), 1)
+			corrupted.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	}))
+	t.Cleanup(proxy.Close)
+	return proxy.Listener.Addr().String(), &corrupted
+}
+
+func TestClientDetectsCorruptedResult(t *testing.T) {
+	addr := startNode(t, server.Config{})
+	proxyAddr, corrupted := corruptingProxy(t, addr, 2)
+
+	var failures atomic.Int64
+	c := NewClient(10*time.Second, 3, 1)
+	c.backoffBase = time.Millisecond
+	c.onIntegrity = func() { failures.Add(1) }
+	rec, err := c.Submit(context.Background(), proxyAddr, api.Request{Netlist: bufNetlist, Horizon: 10})
+	if err != nil {
+		t.Fatalf("Submit through corrupting proxy: %v", err)
+	}
+	if rec.Status != api.StatusCompleted {
+		t.Fatalf("status = %s, want completed", rec.Status)
+	}
+	if got := corrupted.Load(); got != 2 {
+		t.Fatalf("proxy corrupted %d responses, want 2", got)
+	}
+	if got := failures.Load(); got != 2 {
+		t.Fatalf("onIntegrity fired %d times, want 2", got)
+	}
+	// The accepted record is the clean one.
+	if api.ResultHashOf(rec.Result) != rec.ResultHash {
+		t.Fatal("accepted record fails its own hash")
+	}
+}
+
+func TestClientNoRetryBudgetSurfacesIntegrityError(t *testing.T) {
+	addr := startNode(t, server.Config{})
+	proxyAddr, _ := corruptingProxy(t, addr, 1<<30)
+	c := NewClient(10*time.Second, 0, 1)
+	_, err := c.Submit(context.Background(), proxyAddr, api.Request{Netlist: bufNetlist, Horizon: 10})
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *IntegrityError", err)
+	}
+	if !ie.Temporary() {
+		t.Fatal("IntegrityError must be Temporary")
+	}
+}
+
+func TestClientDetectsWrongJobEcho(t *testing.T) {
+	addr := startNode(t, server.Config{})
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r2, _ := http.NewRequest(r.Method, "http://"+addr+r.URL.RequestURI(), r.Body)
+		r2.Header = r.Header
+		resp, err := http.DefaultClient.Do(r2)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		// A lying intermediary: echo some other request's content key.
+		w.Header().Set(api.ContentKeyHeader, "deadbeef")
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(proxy.Close)
+
+	c := NewClient(10*time.Second, 0, 1)
+	_, err := c.Submit(context.Background(), proxy.Listener.Addr().String(), api.Request{Netlist: bufNetlist, Horizon: 10})
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *IntegrityError (wrong-job echo)", err)
+	}
+}
+
+func TestVerifyRecordRules(t *testing.T) {
+	raw := json.RawMessage(`{"status":"completed"}`)
+	good := api.Record{Status: api.StatusCompleted, Result: raw, ResultHash: api.ResultHashOf(raw)}
+	if err := verifyRecord("n", &good); err != nil {
+		t.Fatalf("good record rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		rec  api.Record
+	}{
+		{"unknown status", api.Record{Status: "exploded"}},
+		{"completed without result", api.Record{Status: api.StatusCompleted}},
+		{"completed without hash", api.Record{Status: api.StatusCompleted, Result: raw}},
+		{"hash mismatch", api.Record{Status: api.StatusCompleted, Result: raw, ResultHash: "beef"}},
+		{"invalid payload json", api.Record{Status: api.StatusAborted, Result: json.RawMessage(`{"x`), ResultHash: "beef"}},
+	}
+	for _, c := range cases {
+		var ie *IntegrityError
+		if err := verifyRecord("n", &c.rec); !errors.As(err, &ie) {
+			t.Errorf("%s: err = %v, want *IntegrityError", c.name, err)
+		}
+	}
+	// Aborted without a hash is legal (aborted results are not cached, and
+	// old nodes may not stamp at all).
+	ab := api.Record{Status: api.StatusAborted, Result: raw}
+	if err := verifyRecord("n", &ab); err != nil {
+		t.Fatalf("aborted record without hash rejected: %v", err)
+	}
+}
+
+// TestClientHonorsRetryAfterOn429 refuses once with 429 Retry-After: 1 and
+// checks the ladder both retries (429 is Temporary) and waits out the
+// server's ask rather than just its own millisecond backoff.
+func TestClientHonorsRetryAfterOn429(t *testing.T) {
+	addr := startNode(t, server.Config{})
+	var refusals atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if refusals.Add(1) <= 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorBody{Error: "throttled"})
+			return
+		}
+		r2, _ := http.NewRequest(r.Method, "http://"+addr+r.URL.RequestURI(), r.Body)
+		r2.Header = r.Header
+		resp, err := http.DefaultClient.Do(r2)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(proxy.Close)
+
+	c := NewClient(10*time.Second, 2, 1)
+	c.backoffBase = time.Millisecond // the 1s wait must come from Retry-After
+	c.backoffMax = 2 * time.Millisecond
+	start := time.Now()
+	rec, err := c.Submit(context.Background(), proxy.Listener.Addr().String(),
+		api.Request{Netlist: bufNetlist, Horizon: 10})
+	if err != nil {
+		t.Fatalf("Submit through throttling proxy: %v", err)
+	}
+	if rec.Status != api.StatusCompleted {
+		t.Fatalf("status = %s, want completed", rec.Status)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry happened after %v; Retry-After: 1 was not honored", elapsed)
+	}
+	if got := refusals.Load(); got != 2 {
+		t.Fatalf("proxy saw %d requests, want 2", got)
+	}
+}

@@ -23,6 +23,8 @@ type metrics struct {
 	retries        *obs.Counter // shard reschedules onto another node
 	failures       *obs.Counter // attempts that failed (transport or 5xx)
 	remoteHits     *obs.Counter // shards answered from a node's result cache
+	integrity      *obs.Counter // replies failing end-to-end verification
+	replays        *obs.Counter // shards replayed from the checkpoint journal
 	latency        *obs.Histogram
 }
 
@@ -40,6 +42,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		retries:        reg.Counter("cluster_reschedule_total", "shards rescheduled onto another node after a failure"),
 		failures:       reg.Counter("cluster_attempt_failure_total", "shard attempts failed (transport error or refusal)"),
 		remoteHits:     reg.Counter("cluster_remote_cache_hit_total", "shards answered from a node's content-addressed result cache"),
+		integrity:      reg.Counter("cluster_integrity_failures_total", "node replies failing end-to-end verification (hash mismatch, wrong-job echo, malformed record)"),
+		replays:        reg.Counter("cluster_checkpoint_replayed_total", "shards answered from the coordinator's checkpoint journal without dispatch"),
 		latency: reg.Histogram("cluster_shard_latency_seconds", "per-shard wall time, submission to accepted result",
 			obs.ExpBuckets(0.001, 2, 16)),
 	}
@@ -95,6 +99,18 @@ func (m *metrics) incRemoteHit() {
 	}
 }
 
+func (m *metrics) incIntegrity() {
+	if m != nil {
+		m.integrity.Inc()
+	}
+}
+
+func (m *metrics) incReplay() {
+	if m != nil {
+		m.replays.Inc()
+	}
+}
+
 func (m *metrics) observeLatency(sec float64) {
 	if m != nil {
 		m.latency.Observe(sec)
@@ -118,6 +134,24 @@ func (m *metrics) nodeInFlight(node string) *obs.Gauge {
 	}
 	return m.reg.Gauge("cluster_node_inflight_"+sanitizeMetricName(node),
 		"requests currently in flight to the node")
+}
+
+// nodeQueue returns the per-node reported queue-depth gauge (from
+// /healthz), and nodeRunning the reported running-job gauge.
+func (m *metrics) nodeQueue(node string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("cluster_node_queue_"+sanitizeMetricName(node),
+		"queued jobs the node reported in its last health probe")
+}
+
+func (m *metrics) nodeRunning(node string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("cluster_node_running_"+sanitizeMetricName(node),
+		"running jobs the node reported in its last health probe")
 }
 
 // sanitizeMetricName maps an address to a legal metric-name suffix:

@@ -1,0 +1,33 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultTransport returns the tuned transport behind cluster.Client: the
+// stdlib default transport's pooling behavior with explicit dial/TLS
+// timeouts and an idle-connection allowance of at least perHost per node,
+// so a coordinator racing hedged submits against NodeInFlight jobs per
+// node does not serialize on http.Transport's default of two idle
+// connections. perHost <= 0 uses a floor of 8.
+func DefaultTransport(perHost int) *http.Transport {
+	if perHost < 8 {
+		perHost = 8
+	}
+	dialer := &net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}
+	return &http.Transport{
+		Proxy:                 http.ProxyFromEnvironment,
+		DialContext:           dialer.DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          4 * perHost,
+		MaxIdleConnsPerHost:   perHost,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}

@@ -7,6 +7,7 @@
 package api
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -14,6 +15,12 @@ import (
 
 	"involution/internal/sim"
 )
+
+// ContentKeyHeader carries the client's content key (Request.RouteKey) on
+// submits; the server echoes it on the response, letting the client detect
+// a wrong-job reply (a response that is a well-formed record for some
+// *other* request) without trusting the transport.
+const ContentKeyHeader = "X-Content-Key"
 
 // Status is a job's lifecycle state.
 type Status string
@@ -107,6 +114,29 @@ type Record struct {
 	// Result is the run's outcome payload (see ResultPayload), present
 	// once the job finished.
 	Result json.RawMessage `json:"result,omitempty"`
+	// ResultHash is the hex SHA-256 of the canonical (compacted) Result
+	// bytes, stamped by the serving node when the result is produced.
+	// Clients recompute it on receipt; a mismatch means the payload was
+	// corrupted in flight or by a lying intermediary and the exchange must
+	// be retried. Whitespace-only re-encodings (the server pretty-prints)
+	// hash identically because both sides compact before hashing.
+	ResultHash string `json:"result_hash,omitempty"`
+}
+
+// ResultHashOf returns the integrity hash of a result payload: the hex
+// SHA-256 of its compacted JSON encoding. Compacting first makes the hash
+// stable across re-indenting encoders on the wire path. Invalid JSON
+// returns "".
+func ResultHashOf(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
 }
 
 // ResultPayload is the Record.Result schema. For completed jobs the
@@ -144,6 +174,10 @@ type Health struct {
 	// -advertise flag); coordinators verify it against the address they
 	// routed to. Empty when the node was not told its address.
 	Advertise string `json:"advertise,omitempty"`
+	// Queue is the number of jobs waiting for a worker.
+	Queue int `json:"queue"`
+	// Running is the number of jobs currently executing.
+	Running int `json:"running"`
 }
 
 // Version is the GET /version payload. GoVersion/GOOS/GOARCH mirror the

@@ -183,12 +183,19 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := api.Health{
+		Status:    "ok",
+		Advertise: s.cfg.Advertise,
+		Queue:     s.pool.Depth(),
+		Running:   s.pool.InFlight(),
+	}
 	if s.draining.Load() {
+		h.Status = "draining"
 		w.Header().Set("Retry-After", retryAfterDraining)
-		writeJSON(w, http.StatusServiceUnavailable, api.Health{Status: "draining", Advertise: s.cfg.Advertise})
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.Health{Status: "ok", Advertise: s.cfg.Advertise})
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
@@ -203,6 +210,11 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Echo the client's content key so it can detect a wrong-job reply
+	// (see api.ContentKeyHeader).
+	if ck := r.Header.Get(api.ContentKeyHeader); ck != "" {
+		w.Header().Set(api.ContentKeyHeader, ck)
+	}
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", retryAfterDraining)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -249,6 +261,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.rec.Cached = true
 			j.rec.Finished = &now
 			j.rec.Result = raw
+			j.rec.ResultHash = api.ResultHashOf(raw)
 			j.mu.Unlock()
 			s.finishTrace(j, now, StatusCompleted, "")
 			close(j.done)
@@ -528,6 +541,7 @@ func (s *Server) finishJob(j *job, start time.Time, p ResultPayload) {
 		j.rec.Error = p.Error
 		j.rec.Finished = &end
 		j.rec.Result = raw
+		j.rec.ResultHash = api.ResultHashOf(raw)
 		j.mu.Unlock()
 		if p.Status == StatusCompleted {
 			s.cache.put(j.c.hash, raw)
