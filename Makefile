@@ -26,12 +26,13 @@ fmt-check:
 # the cancellation-churn workload, the observer fast-path comparison, the
 # event-time validation on/off pair, the end-to-end ring oscillator, the
 # parallel campaign engine scaling run, the serving-layer submit
-# latency/throughput pair, and the cluster dispatch-overhead/fleet-scaling
-# pair) and writes BENCH_sim.json — the machine-readable evidence for the
-# ≤2 % no-observer and ≤2 % scheduling-time-validation overhead budgets,
-# the workers=N report identity, and the ≥1.5× two-node sweep throughput
-# floor.
-BENCH_PATTERN := BenchmarkDeepPendingRetirement|BenchmarkCancellationHeavyChain|BenchmarkObserverOverhead|BenchmarkEventTimeValidation|BenchmarkSimulatorRingOscillator|BenchmarkCampaignParallel|BenchmarkServerSubmitLatency|BenchmarkServerThroughput|BenchmarkClusterDispatch|BenchmarkClusterSweepThroughput
+# latency/throughput pair, the cluster dispatch-overhead/fleet-scaling
+# pair, and the 1×-vs-4× overload goodput/p99 pair) and writes
+# BENCH_sim.json — the machine-readable evidence for the ≤2 % no-observer
+# and ≤2 % scheduling-time-validation overhead budgets, the workers=N
+# report identity, the ≥1.5× two-node sweep throughput floor, and the
+# overload-protection goodput story.
+BENCH_PATTERN := BenchmarkDeepPendingRetirement|BenchmarkCancellationHeavyChain|BenchmarkObserverOverhead|BenchmarkEventTimeValidation|BenchmarkSimulatorRingOscillator|BenchmarkCampaignParallel|BenchmarkServerSubmitLatency|BenchmarkServerThroughput|BenchmarkClusterDispatch|BenchmarkClusterSweepThroughput|BenchmarkOverloadGoodput
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 ./internal/sim/ ./internal/cluster/ . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_sim.json

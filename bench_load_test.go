@@ -1,0 +1,92 @@
+// Overload-protection benchmark: goodput and tail latency of a simd node
+// offered 1× vs 4× its measured capacity by the open-loop generator
+// (internal/load). The number that matters is how little the 4× flood
+// degrades goodput and p99 relative to 1× — the admission layer's whole
+// job is to make "4× offered" look like "1× accepted, surplus shed with
+// 429/503" instead of a queue-wait collapse.
+package involution_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"involution/internal/load"
+	"involution/internal/server"
+)
+
+// BenchmarkOverloadGoodput floods one in-process node for a fixed window
+// per iteration and reports goodput (accepted submits/sec), the
+// accepted-submit p99 in milliseconds, and the shed counts. Offered rate
+// is calibrated per run: 1 uncached submit times the service path, and
+// capacity = width / serviceTime.
+func BenchmarkOverloadGoodput(b *testing.B) {
+	for _, mult := range []float64{1, 4} {
+		b.Run(fmt.Sprintf("%gx", mult), func(b *testing.B) {
+			s := server.New(server.Config{
+				Workers:    runtime.GOMAXPROCS(0),
+				QueueDepth: 16,
+				CacheSize:  1024,
+			})
+			ts := httptest.NewServer(s.Handler())
+			b.Cleanup(func() {
+				ts.Close()
+				s.Drain(30 * time.Second)
+			})
+			ctx := context.Background()
+			svc, err := load.Calibrate(ctx, ts.URL, 30, 1, 30*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			width, err := load.Width(ctx, ts.URL, 10*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate := mult * float64(width) / svc.Seconds()
+			if rate < 1 {
+				rate = 1
+			}
+
+			var agg load.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := load.Run(ctx, load.Profile{
+					Addr:       ts.URL,
+					Duration:   time.Second,
+					Rate:       rate,
+					Clients:    128,
+					KeySpace:   512,
+					ZipfS:      1.1,
+					DeadlineMS: 1000,
+					Horizon:    30,
+					Seed:       int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Lost != 0 {
+					b.Fatalf("lost %d accepted jobs under %gx load", res.Lost, mult)
+				}
+				agg.Offered += res.Offered
+				agg.Accepted += res.Accepted
+				agg.ShedQuota += res.ShedQuota
+				agg.ShedCapacity += res.ShedCapacity
+				agg.Errors += res.Errors
+				agg.Elapsed += res.Elapsed
+				if res.P99 > agg.P99 {
+					agg.P99 = res.P99
+				}
+			}
+			b.StopTimer()
+			if agg.Elapsed > 0 {
+				b.ReportMetric(float64(agg.Accepted)/agg.Elapsed.Seconds(), "goodput/s")
+			}
+			b.ReportMetric(float64(agg.P99.Milliseconds()), "p99-ms")
+			b.ReportMetric(float64(agg.ShedQuota+agg.ShedCapacity)/float64(b.N), "sheds/op")
+			b.ReportMetric(float64(agg.Offered)/agg.Elapsed.Seconds(), "offered/s")
+		})
+	}
+}

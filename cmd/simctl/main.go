@@ -113,6 +113,7 @@ type clusterFlags struct {
 	chaos        string
 	checkpoint   string
 	resume       bool
+	apiKey       string
 }
 
 func (cf *clusterFlags) register(fs *flag.FlagSet) {
@@ -124,6 +125,7 @@ func (cf *clusterFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&cf.chaos, "chaos", "", "inject faults from this chaos schedule (JSON) into every exchange")
 	fs.StringVar(&cf.checkpoint, "checkpoint", "", "crash-safe result journal: completed shards are durable before they are surfaced")
 	fs.BoolVar(&cf.resume, "resume", false, "replay completed shards from the -checkpoint journal instead of truncating it")
+	fs.StringVar(&cf.apiKey, "api-key", "", "tenant API key sent with every submit (fleet admission control; empty: anonymous)")
 }
 
 func (cf *clusterFlags) coordinator(reg *obs.Registry, tracer *tracing.Tracer) (*cluster.Coordinator, error) {
@@ -153,6 +155,7 @@ func (cf *clusterFlags) coordinator(reg *obs.Registry, tracer *tracing.Tracer) (
 		Transport:    transport,
 		Checkpoint:   cf.checkpoint,
 		Resume:       cf.resume,
+		APIKey:       cf.apiKey,
 	})
 }
 

@@ -270,16 +270,16 @@ func runTop(args []string, stdout, stderr io.Writer) int {
 
 	for {
 		// Fleet load first: live queue depth and running jobs per node.
-		fmt.Fprintf(stdout, "%-20s %-10s %8s %8s\n", "NODE", "HEALTH", "QUEUE", "RUNNING")
+		fmt.Fprintf(stdout, "%-20s %-10s %8s %8s %6s %8s %10s\n", "NODE", "HEALTH", "QUEUE", "RUNNING", "WIDTH", "SHED", "THROTTLED")
 		for _, addr := range peers {
 			fctx, cancel := context.WithTimeout(ctx, *timeout)
 			h, err := fetchHealth(fctx, addr)
 			cancel()
 			if err != nil {
-				fmt.Fprintf(stdout, "%-20s %-10s %8s %8s\n", addr, "down", "-", "-")
+				fmt.Fprintf(stdout, "%-20s %-10s %8s %8s %6s %8s %10s\n", addr, "down", "-", "-", "-", "-", "-")
 				continue
 			}
-			fmt.Fprintf(stdout, "%-20s %-10s %8d %8d\n", addr, h.Status, h.Queue, h.Running)
+			fmt.Fprintf(stdout, "%-20s %-10s %8d %8d %6d %8d %10d\n", addr, h.Status, h.Queue, h.Running, h.Width, h.Shed, h.Throttled)
 		}
 		fmt.Fprintln(stdout)
 

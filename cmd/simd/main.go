@@ -12,6 +12,16 @@
 //	simd -listen :9090 -workers 8 -queue 128 -cache 512
 //	simd -jobs-json jobs.jsonl -drain 30s
 //	simd -chaos schedule.json               # serve through a fault-injecting middleware (testing)
+//	simd -tenants tenants.json -default-rps 100 -aimd-target 250ms
+//
+// Overload protection: -tenants / -default-rps switch on per-tenant
+// admission control (API keys via X-Api-Key or a bearer token; quota
+// refusals are 429 + Retry-After), submits carrying an X-Deadline-Ms
+// header are shed with 503 when the estimated queue wait exceeds the
+// budget, and the AIMD limiter (-aimd-target) narrows the effective pool
+// width under congestion instead of letting queue wait collapse goodput.
+// Sheds are counted in the simd_shed_<reason>_total metric family and
+// surfaced per node by `simctl top`.
 //
 // Endpoints: POST /v1/jobs (submit; ?wait=1 blocks for the result,
 // ?stream=trace streams the live event trace and cancels the job if the
@@ -36,6 +46,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"involution/internal/admission"
 	"involution/internal/chaos"
 	"involution/internal/server"
 	"involution/internal/sim"
@@ -70,12 +82,36 @@ func run() int {
 	flightSlow := fs.Int("flight-slow", 0, "flight-recorder slots for the slowest traced jobs (0: default 32, negative: off)")
 	flightAborted := fs.Int("flight-aborted", 0, "flight-recorder slots for recent aborted jobs (0: default 64, negative: off)")
 	chaosPath := fs.String("chaos", "", "inject faults from this chaos schedule (JSON) into every served exchange — testing only")
+	tenantsPath := fs.String("tenants", "", "multi-tenant admission config (JSON: {\"tenants\":[{\"key\":…,\"rps\":…,\"events_per_sec\":…}],\"default\":{…}}); default: no per-tenant limits")
+	defaultRPS := fs.Float64("default-rps", 0, "request-rate limit applied to every key without a -tenants entry, anonymous included (0: unlimited)")
+	aimdTarget := fs.Duration("aimd-target", 0, "queue-wait latency above which the adaptive limiter narrows the pool (0: default 500ms, negative: fixed-width pool)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return sim.ExitUsage
 	}
 
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+	var admCfg admission.Config
+	if *tenantsPath != "" {
+		raw, err := os.ReadFile(*tenantsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: -tenants: %v\n", err)
+			return sim.ExitUsage
+		}
+		if err := json.Unmarshal(raw, &admCfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simd: -tenants: %v\n", err)
+			return sim.ExitUsage
+		}
+	}
+	if *defaultRPS > 0 {
+		admCfg.Default.RPS = *defaultRPS
+	}
+	var ctl *admission.Controller
+	if len(admCfg.Tenants) > 0 || admCfg.Default != (admission.Limits{}) {
+		ctl = admission.New(admCfg)
+		fmt.Fprintf(os.Stderr, "simd: admission control on (%d configured tenants, default rps=%g)\n",
+			len(admCfg.Tenants), admCfg.Default.RPS)
 	}
 	srv := server.New(server.Config{
 		Workers:       *workers,
@@ -85,6 +121,8 @@ func run() int {
 		Advertise:     *advertise,
 		FlightSlow:    *flightSlow,
 		FlightAborted: *flightAborted,
+		Admission:     ctl,
+		AIMDTarget:    *aimdTarget,
 	})
 	handler := srv.Handler()
 	if *chaosPath != "" {

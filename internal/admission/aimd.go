@@ -1,0 +1,118 @@
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AIMD is an additive-increase / multiplicative-decrease concurrency
+// limiter: the serving layer feeds it one latency sample per finished job
+// (queue wait is the congestion signal of a bounded-queue pool) and reads
+// back the concurrency limit it should run at. While samples stay under
+// Target the limit creeps up by ~1 per limit-many good samples (additive,
+// like TCP congestion avoidance); a sample over Target multiplies the
+// limit by Backoff at most once per Cooldown — a brownout that narrows
+// the pool *before* queue wait collapses goodput, instead of a blackout
+// after.
+//
+// State is a fixed-point atomic, so Observe is lock-free and safe from
+// every pool worker concurrently.
+type AIMD struct {
+	// Target is the latency above which a sample signals congestion.
+	Target time.Duration
+	// Min and Max bound the limit (Min ≥ 1).
+	Min, Max int
+	// Backoff is the multiplicative-decrease factor in (0,1); 0 means the
+	// default 0.7.
+	Backoff float64
+	// Cooldown is the minimum spacing between decreases, so one burst of
+	// slow jobs costs one decrease, not one per sample; 0 means the
+	// default 100ms.
+	Cooldown time.Duration
+
+	limit   atomic.Int64 // fixed-point ×1024
+	lastDec atomic.Int64 // unix nanos of the last decrease
+	once    atomic.Bool
+}
+
+const aimdScale = 1024
+
+func (a *AIMD) init() {
+	if a.once.CompareAndSwap(false, true) {
+		if a.Min < 1 {
+			a.Min = 1
+		}
+		if a.Max < a.Min {
+			a.Max = a.Min
+		}
+		a.limit.Store(int64(a.Max) * aimdScale) // start wide; congestion narrows
+	}
+}
+
+// Limit returns the current concurrency limit, in [Min, Max].
+func (a *AIMD) Limit() int {
+	a.init()
+	l := int(a.limit.Load() / aimdScale)
+	if l < a.Min {
+		return a.Min
+	}
+	if l > a.Max {
+		return a.Max
+	}
+	return l
+}
+
+// Observe feeds one latency sample and returns the (possibly adjusted)
+// limit.
+func (a *AIMD) Observe(lat time.Duration) int {
+	a.init()
+	if lat > a.Target {
+		a.decrease()
+		return a.Limit()
+	}
+	// Additive increase: +1/limit per good sample ⇒ ~+1 per limit-many
+	// samples, the classic AIMD ramp.
+	for {
+		cur := a.limit.Load()
+		if cur >= int64(a.Max)*aimdScale {
+			return a.Limit()
+		}
+		l := cur / aimdScale
+		if l < 1 {
+			l = 1
+		}
+		nw := cur + aimdScale/l
+		if nw > int64(a.Max)*aimdScale {
+			nw = int64(a.Max) * aimdScale
+		}
+		if a.limit.CompareAndSwap(cur, nw) {
+			return a.Limit()
+		}
+	}
+}
+
+func (a *AIMD) decrease() {
+	cd := a.Cooldown
+	if cd <= 0 {
+		cd = 100 * time.Millisecond
+	}
+	now := time.Now().UnixNano()
+	last := a.lastDec.Load()
+	if now-last < int64(cd) || !a.lastDec.CompareAndSwap(last, now) {
+		return // someone else decreased within the cooldown
+	}
+	beta := a.Backoff
+	if beta <= 0 || beta >= 1 {
+		beta = 0.7
+	}
+	for {
+		cur := a.limit.Load()
+		nw := int64(float64(cur) * beta)
+		if nw < int64(a.Min)*aimdScale {
+			nw = int64(a.Min) * aimdScale
+		}
+		if a.limit.CompareAndSwap(cur, nw) {
+			return
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// gcra is a lock-free rate limiter (the Generic Cell Rate Algorithm, the
+// CAS-friendly formulation of a token bucket): the entire bucket state is
+// one int64 — the theoretical arrival time (TAT) in nanoseconds — so
+// admission is a load, a comparison and a compare-and-swap. No mutex, no
+// per-request time.Ticker, O(1) regardless of rate or burst.
+//
+// A bucket of capacity `burst` tokens refilling at `rate` tokens/second
+// maps onto GCRA as: emission interval T = 1e9/rate ns per token; a
+// request of cost n conforms iff TAT − now ≤ (burst − n)·T, and on
+// admission TAT advances by n·T from max(TAT, now).
+type gcra struct {
+	interval float64 // ns per token; 0 disables limiting
+	burst    float64 // bucket capacity in tokens
+	tat      atomic.Int64
+}
+
+// newGCRA returns a limiter admitting `rate` tokens/second with a bucket
+// of `burst` tokens. rate <= 0 disables limiting (every Allow conforms);
+// burst below 1 is raised to 1.
+func newGCRA(rate float64, burst float64) *gcra {
+	if rate <= 0 {
+		return &gcra{}
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &gcra{interval: 1e9 / rate, burst: burst}
+}
+
+// allow admits or refuses a request of the given token cost at time now.
+// Refusals return the wait after which the same cost would conform. A cost
+// larger than the whole bucket can never conform; it is refused with the
+// wait to drain the bucket completely (the caller turns that into a 429
+// and the client's Retry-After honoring does the rest).
+func (g *gcra) allow(now time.Time, cost int64) (bool, time.Duration) {
+	if g == nil || g.interval == 0 {
+		return true, 0
+	}
+	c := float64(cost)
+	if c < 1 {
+		c = 1
+	}
+	if c > g.burst {
+		// Can never conform: even a completely full bucket is too small.
+		// Advertise the time to drain whatever is outstanding plus the
+		// overshoot, so a client that halves its cost and honors the wait
+		// has a fighting chance.
+		tat := g.tat.Load()
+		over := time.Duration((c - g.burst) * g.interval)
+		return false, time.Duration(max64(tat-now.UnixNano(), 0)) + over
+	}
+	need := int64(c * g.interval)
+	slack := int64((g.burst - c) * g.interval)
+	nowNS := now.UnixNano()
+	for {
+		tat := g.tat.Load()
+		if tat-nowNS > slack {
+			return false, time.Duration(tat - nowNS - max64(slack, 0))
+		}
+		t := tat
+		if nowNS > t {
+			t = nowNS
+		}
+		if g.tat.CompareAndSwap(tat, t+need) {
+			return true, 0
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,43 @@
+package admission
+
+import "sync/atomic"
+
+// Accumulator is a vector–scalar accumulator: a counter split into a
+// committed baseline and an uncommitted delta so the hot path is one
+// atomic add and the expensive commit (folding Δ into the baseline and
+// publishing it to metrics, journals, or health payloads) happens once
+// per flush instead of once per operation. Hundreds of thousands of
+// logical updates coalesce into a single durable commit — the O(1)
+// `(baseline + Δ)` admission pattern.
+//
+// All methods are safe for concurrent use. Flush is idempotent in the
+// sense that a flush with no intervening Adds commits nothing and
+// re-publishing the baseline is always safe: Value is unchanged by Flush.
+type Accumulator struct {
+	baseline atomic.Int64
+	delta    atomic.Int64
+}
+
+// Add records n logical operations on the hot path: one atomic add, no
+// locks, no commit.
+func (a *Accumulator) Add(n int64) { a.delta.Add(n) }
+
+// Value returns baseline + Δ — the logically current total, visible
+// without forcing a commit.
+func (a *Accumulator) Value() int64 { return a.baseline.Load() + a.delta.Load() }
+
+// Flush folds the outstanding Δ into the baseline and returns the amount
+// committed (0 when nothing accumulated since the last flush). Callers
+// publish the returned delta (or the new baseline) to whatever durable or
+// observable sink they own.
+func (a *Accumulator) Flush() int64 {
+	d := a.delta.Swap(0)
+	if d != 0 {
+		a.baseline.Add(d)
+	}
+	return d
+}
+
+// Baseline returns the committed portion alone — what the last flush
+// published.
+func (a *Accumulator) Baseline() int64 { return a.baseline.Load() }

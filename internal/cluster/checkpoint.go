@@ -14,11 +14,15 @@ package cluster
 // Durability follows internal/fault/checkpoint.go exactly: a sidecar
 // index (<path>.idx) names the durable prefix {rows, bytes} and is
 // replaced atomically (temp file, fsync, rename) only after the journal
-// itself is fsynced. A SIGKILL of the coordinator can leave a
-// half-written tail beyond the index; resume truncates it away. A journal
-// shorter than its index, a duplicate key, or a record whose result bytes
-// no longer match their integrity hash is corruption and rejects the
-// resume with a typed *CheckpointError.
+// itself is fsynced. Fsyncs are coalesced — a flush runs per batch of
+// appended rows or flush interval, Θ(flushes) instead of O(rows) — so a
+// SIGKILL of the coordinator can lose the buffered tail as well as leave a
+// half-written one beyond the index; resume truncates the torn bytes away
+// and the coordinator re-dispatches the missing slots, whose results are
+// deterministic and land byte-identical. A journal shorter than its index,
+// a duplicate key, or a record whose result bytes no longer match their
+// integrity hash is corruption and rejects the resume with a typed
+// *CheckpointError.
 
 import (
 	"bytes"
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"involution/internal/server/api"
 )
@@ -34,6 +39,15 @@ import (
 const (
 	journalKind    = "cluster-result-journal"
 	journalVersion = 1
+)
+
+// Fsync coalescing bounds, mirroring internal/fault: a flush (journal
+// fsync + atomic index replace) happens when this many rows have been
+// buffered or this much time has passed since the last flush, whichever
+// comes first.
+const (
+	journalBatchRows     = 32
+	journalFlushInterval = 100 * time.Millisecond
 )
 
 // Checkpoint corruption sentinels; surfaced wrapped in a *CheckpointError,
@@ -101,6 +115,10 @@ type Journal struct {
 	mu   sync.Mutex
 	idx  journalIndex
 	recs map[string]api.Record
+	// pending counts rows written to the OS buffer since the last flush;
+	// lastSync stamps that flush. Both guarded by mu.
+	pending  int
+	lastSync time.Time
 }
 
 // OpenJournal opens the checkpoint at path. With resume true an existing
@@ -240,12 +258,15 @@ func (j *Journal) Len() int {
 	return len(j.recs)
 }
 
-// Append makes one completed record durable under its content key:
-// journal write + fsync, then an atomic index replace. Re-appending a key
-// already journaled is a no-op (hedges and sweep phases sharing requests
-// make duplicates normal, not corrupt). Only completed records are
-// accepted: aborted outcomes may be node-local accidents and must re-run
-// on resume.
+// Append records one completed record under its content key: the line
+// goes to the OS buffer immediately, but the expensive durability step
+// (fsync + atomic index replace) is coalesced — it runs when
+// journalBatchRows rows have piled up or journalFlushInterval has passed
+// since the last flush. Rows buffered at a SIGKILL re-dispatch
+// deterministically on resume. Re-appending a key already journaled is a
+// no-op (hedges and sweep phases sharing requests make duplicates normal,
+// not corrupt). Only completed records are accepted: aborted outcomes may
+// be node-local accidents and must re-run on resume.
 func (j *Journal) Append(key string, rec api.Record) error {
 	if rec.Status != api.StatusCompleted {
 		return nil
@@ -265,11 +286,14 @@ func (j *Journal) Append(key string, rec api.Record) error {
 	}
 	j.idx.Rows++
 	j.idx.Bytes += int64(len(line))
-	if err := j.sync(); err != nil {
-		return err
-	}
+	// The record is in the journal file (dedup must see it) even while its
+	// durability is still pending the next coalesced flush.
 	j.recs[key] = rec
-	return nil
+	j.pending++
+	if j.pending < journalBatchRows && time.Since(j.lastSync) < journalFlushInterval {
+		return nil
+	}
+	return j.sync()
 }
 
 // sync fsyncs the journal and atomically replaces the index file so it
@@ -301,13 +325,21 @@ func (j *Journal) sync() error {
 	if err := os.Rename(tmp, j.path+".idx"); err != nil {
 		return &CheckpointError{Path: j.path, Err: err}
 	}
+	j.pending = 0
+	j.lastSync = time.Now()
 	return nil
 }
 
-// Close releases the journal file (the index already names every durable
-// row; nothing further to flush).
+// Close flushes any rows still buffered since the last coalesced sync and
+// releases the journal file, so a clean shutdown loses nothing.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.pending > 0 {
+		if err := j.sync(); err != nil {
+			j.f.Close()
+			return err
+		}
+	}
 	return j.f.Close()
 }

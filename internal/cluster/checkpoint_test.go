@@ -263,3 +263,80 @@ func TestCoordinatorResumeRedispatchesMissingSlots(t *testing.T) {
 		}
 	}
 }
+
+// readIdx parses the sidecar index, or zero values if absent/unparseable.
+func readIdx(t *testing.T, path string) journalIndex {
+	t.Helper()
+	var idx journalIndex
+	data, err := os.ReadFile(path + ".idx")
+	if err != nil {
+		t.Fatalf("reading index: %v", err)
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(data), &idx); err != nil {
+		t.Fatalf("parsing index: %v", err)
+	}
+	return idx
+}
+
+func TestJournalCoalescesFsyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin lastSync far in the future so the interval trigger cannot fire
+	// and only the row-count trigger matters.
+	j.mu.Lock()
+	j.lastSync = time.Now().Add(time.Hour)
+	j.mu.Unlock()
+
+	for i := 0; i < journalBatchRows-1; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := j.Append(key, completedRecord(t, key, `{"n":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All rows buffered, none durable yet: the index still names 0 rows,
+	// but Lookup already serves every append.
+	if idx := readIdx(t, path); idx.Rows != 0 {
+		t.Fatalf("index names %d rows before the batch filled, want 0", idx.Rows)
+	}
+	if j.Len() != journalBatchRows-1 {
+		t.Fatalf("Len = %d, want %d (lookup must not lag the flush)", j.Len(), journalBatchRows-1)
+	}
+
+	// The batch-filling row triggers a flush; the index catches up.
+	if err := j.Append("last", completedRecord(t, "last", `{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if idx := readIdx(t, path); idx.Rows != journalBatchRows {
+		t.Fatalf("index names %d rows after the batch filled, want %d", idx.Rows, journalBatchRows)
+	}
+
+	// One more buffered row, then Close must flush it.
+	j.mu.Lock()
+	j.lastSync = time.Now().Add(time.Hour)
+	j.mu.Unlock()
+	if err := j.Append("tail", completedRecord(t, "tail", `{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if idx := readIdx(t, path); idx.Rows != journalBatchRows {
+		t.Fatalf("index advanced to %d rows without a flush trigger", idx.Rows)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if idx := readIdx(t, path); idx.Rows != journalBatchRows+1 {
+		t.Fatalf("index names %d rows after Close, want %d", idx.Rows, journalBatchRows+1)
+	}
+
+	// And the flushed journal resumes with every row intact.
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != journalBatchRows+1 {
+		t.Fatalf("resumed Len = %d, want %d", j2.Len(), journalBatchRows+1)
+	}
+}

@@ -64,6 +64,9 @@ type Client struct {
 	// verification (the coordinator counts these in
 	// cluster_integrity_failures_total).
 	onIntegrity func()
+	// apiKey, when set, rides every submit as the X-Api-Key header so the
+	// fleet's admission controllers bill this client's tenant.
+	apiKey string
 }
 
 // NewClient returns a client issuing attempts bounded by timeout, with up
@@ -96,6 +99,10 @@ func (c *Client) SetTransport(rt http.RoundTripper) {
 	}
 	c.hc.Transport = rt
 }
+
+// SetAPIKey sets the tenant API key sent with every submit (empty:
+// anonymous).
+func (c *Client) SetAPIKey(key string) { c.apiKey = key }
 
 // integrityFail counts and returns one failed verification.
 func (c *Client) integrityFail(err error) error {
@@ -172,14 +179,20 @@ func (c *Client) do(ctx context.Context, node string, attempt func(context.Conte
 		Seed:   c.seed,
 	}
 	var last error
+	jit := uint64(c.seed) ^ 0x9e3779b97f4a7c15
 	sched.Ladder{MaxRetries: c.retries}.Run(ctx, func(n int) sched.Verdict {
 		if n > 0 {
 			// A retry was granted: wait out the backoff, stretched to the
-			// server's Retry-After when it asked for more.
+			// server's Retry-After when it asked for more. The mandated wait
+			// itself is stretched by up to 25% seeded jitter — many clients
+			// refused in the same instant must not return in the same
+			// instant, even against servers that send exact values.
 			wait := bo.Next()
 			var se *StatusError
-			if asStatusError(last, &se) && se.RetryAfter > wait {
-				wait = se.RetryAfter
+			if asStatusError(last, &se) && se.RetryAfter > 0 {
+				if ra := jitterStretch(se.RetryAfter, &jit); ra > wait {
+					wait = ra
+				}
 			}
 			if !sleepCtx(ctx, wait) {
 				return sched.Done
@@ -207,6 +220,19 @@ func asStatusError(err error, out **StatusError) bool {
 	return errors.As(err, out)
 }
 
+// jitterStretch stretches d by a uniform fraction in [0, 25%) drawn from a
+// splitmix64 stream held in state — the client half of thundering-herd
+// avoidance on Retry-After.
+func jitterStretch(d time.Duration, state *uint64) time.Duration {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / float64(1<<53)
+	return d + time.Duration(float64(d)*0.25*frac)
+}
+
 // sleepCtx waits d or until ctx is done; it reports whether the full wait
 // elapsed.
 func sleepCtx(ctx context.Context, d time.Duration) bool {
@@ -231,6 +257,9 @@ func (c *Client) postJSON(ctx context.Context, node, path string, body []byte, k
 	req.Header.Set("Content-Type", "application/json")
 	if key != "" {
 		req.Header.Set(api.ContentKeyHeader, key)
+	}
+	if c.apiKey != "" {
+		req.Header.Set(api.APIKeyHeader, c.apiKey)
 	}
 	// Propagate the caller's span (if any) so the node's job spans join the
 	// caller's trace — the cross-node half of `simctl trace`.

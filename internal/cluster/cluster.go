@@ -75,12 +75,19 @@ type Options struct {
 	// its fault transport here.
 	Transport http.RoundTripper
 	// Checkpoint, when non-empty, is the path of a crash-safe result
-	// journal: every completed shard is made durable before its result is
-	// surfaced, and with Resume true journaled shards replay without
-	// dispatch — a SIGKILLed coordinator re-run redoes only missing slots.
+	// journal: completed shards are journaled as they land, with fsyncs
+	// coalesced over a small row/interval batch, and with Resume true the
+	// durable shards replay without dispatch — a SIGKILLed coordinator
+	// re-run redoes only the slots missing from the durable prefix, and
+	// determinism makes the merged output byte-identical either way.
 	Checkpoint string
 	// Resume loads an existing Checkpoint journal instead of truncating it.
 	Resume bool
+	// APIKey identifies this coordinator's tenant to the fleet's admission
+	// controllers: it rides every submit as the X-Api-Key header. A 429
+	// refusal under the key is tenant throttling — the coordinator backs
+	// off and retries without counting the node as unhealthy.
+	APIKey string
 }
 
 // withDefaults returns a copy with unset knobs at their defaults.

@@ -88,6 +88,7 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		c.client.SetTransport(DefaultTransport(2 * opts.NodeInFlight))
 	}
 	c.client.onIntegrity = c.met.incIntegrity
+	c.client.SetAPIKey(opts.APIKey)
 	if opts.Checkpoint != "" {
 		j, err := OpenJournal(opts.Checkpoint, opts.Resume)
 		if err != nil {
@@ -357,6 +358,13 @@ func abortClassOf(ctx context.Context, err error) string {
 	return "dispatch-failed"
 }
 
+// isThrottle reports a 429 — the fleet's admission control refusing this
+// tenant, not a node failing.
+func isThrottle(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
+}
+
 // isTerminalRequestError reports a refusal that is a property of the
 // request, not the node — rescheduling cannot help.
 func isTerminalRequestError(err error) bool {
@@ -449,7 +457,17 @@ func (c *Coordinator) attempt(ctx context.Context, primary, partner *node, req a
 				cancel() // the race is decided; reel in the loser
 				return o.rec, nil
 			}
-			if !induced && !errors.Is(o.err, context.Canceled) {
+			switch {
+			case induced || errors.Is(o.err, context.Canceled):
+				// The race's loser; says nothing about the node.
+			case isThrottle(o.err):
+				// 429 is tenant throttling, not node illness: the node
+				// answered promptly and would serve another tenant fine.
+				// Feeding it to the breaker would let one over-quota tenant
+				// mark the whole fleet dead. Count it, back off (the retry
+				// ladder honors Retry-After), leave the breaker alone.
+				c.met.incThrottled()
+			default:
 				o.nd.br.failure()
 				gaugeSet(o.nd.healthy, boolGauge(o.nd.br.current() == breakerClosed))
 				c.met.incFailure()

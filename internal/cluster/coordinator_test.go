@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -330,4 +331,78 @@ func metricValue(t *testing.T, reg *obs.Registry, name string) float64 {
 	}
 	t.Fatalf("metric %s not in snapshot", name)
 	return 0
+}
+
+// TestCoordinatorThrottleNotBreakerFood asserts the overload contract's
+// cluster half: a node refusing this tenant with 429 is throttling, not
+// failing — the coordinator backs off and retries the same node without
+// feeding its breaker, and the submit carries the configured API key.
+func TestCoordinatorThrottleNotBreakerFood(t *testing.T) {
+	var hits atomic.Int64
+	var sawKey atomic.Value
+	backend := "http://" + startNode(t, server.Config{})
+	// A proxy that throttles the first 3 submits with 429 + Retry-After,
+	// then passes through.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			sawKey.Store(r.Header.Get(api.APIKeyHeader))
+			if hits.Add(1) <= 3 {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusTooManyRequests)
+				io.WriteString(w, `{"error":"tenant over request rate limit"}`)
+				return
+			}
+		}
+		pr, err := http.NewRequest(r.Method, backend+r.URL.String(), r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pr.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(pr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{
+		Peers:            []string{proxy.URL},
+		Retries:          5,
+		BreakerThreshold: 2, // two failures would trip it; three 429s must not
+		Registry:         reg,
+		APIKey:           "team-sim",
+	})
+	rec, err := c.RunOne(context.Background(), api.Request{Netlist: bufNetlist, Horizon: 10, Seed: 9})
+	if err != nil {
+		t.Fatalf("RunOne through throttling proxy: %v", err)
+	}
+	if rec.Status != api.StatusCompleted {
+		t.Fatalf("record status %s, want completed", rec.Status)
+	}
+	if got := sawKey.Load(); got != "team-sim" {
+		t.Fatalf("node saw API key %q, want team-sim", got)
+	}
+	if br := c.nodes[proxy.URL].br; br.current() != breakerClosed {
+		t.Fatal("three 429s tripped the breaker; throttling must not count as node illness")
+	}
+	// The client's own retry ladder absorbs some 429s before the
+	// coordinator sees a verdict, so the coordinator-level count is at
+	// least one, not the raw HTTP count.
+	if got := c.met.throttled.Value(); got < 1 {
+		t.Fatalf("cluster_throttled_total = %d, want >= 1", got)
+	}
+	if got := c.met.failures.Value(); got != 0 {
+		t.Fatalf("cluster_attempt_failure_total = %d, want 0 (429s are not failures)", got)
+	}
 }

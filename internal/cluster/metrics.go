@@ -25,6 +25,7 @@ type metrics struct {
 	remoteHits     *obs.Counter // shards answered from a node's result cache
 	integrity      *obs.Counter // replies failing end-to-end verification
 	replays        *obs.Counter // shards replayed from the checkpoint journal
+	throttled      *obs.Counter // attempts refused 429 by fleet admission control
 	latency        *obs.Histogram
 }
 
@@ -44,6 +45,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		remoteHits:     reg.Counter("cluster_remote_cache_hit_total", "shards answered from a node's content-addressed result cache"),
 		integrity:      reg.Counter("cluster_integrity_failures_total", "node replies failing end-to-end verification (hash mismatch, wrong-job echo, malformed record)"),
 		replays:        reg.Counter("cluster_checkpoint_replayed_total", "shards answered from the coordinator's checkpoint journal without dispatch"),
+		throttled:      reg.Counter("cluster_throttled_total", "shard attempts refused with 429 by a node's admission control (tenant quota, not node illness)"),
 		latency: reg.Histogram("cluster_shard_latency_seconds", "per-shard wall time, submission to accepted result",
 			obs.ExpBuckets(0.001, 2, 16)),
 	}
@@ -108,6 +110,12 @@ func (m *metrics) incIntegrity() {
 func (m *metrics) incReplay() {
 	if m != nil {
 		m.replays.Inc()
+	}
+}
+
+func (m *metrics) incThrottled() {
+	if m != nil {
+		m.throttled.Inc()
 	}
 }
 

@@ -22,6 +22,20 @@ import (
 // *other* request) without trusting the transport.
 const ContentKeyHeader = "X-Content-Key"
 
+// APIKeyHeader carries the tenant's API key on submits. The server also
+// accepts the key as an "Authorization: Bearer <key>" header; requests
+// with neither are the anonymous tenant.
+const APIKeyHeader = "X-Api-Key"
+
+// DeadlineHeader carries the client's end-to-end deadline budget in
+// milliseconds. It rides in a header — not in Request — so a tight or
+// generous deadline does not change the content hash: the cached result of
+// a patient client still answers an impatient one. A server that cannot
+// plausibly start the job inside the budget (estimated queue wait exceeds
+// it) sheds the submit with 503 instead of accepting work it will finish
+// too late to matter.
+const DeadlineHeader = "X-Deadline-Ms"
+
 // Status is a job's lifecycle state.
 type Status string
 
@@ -178,6 +192,16 @@ type Health struct {
 	Queue int `json:"queue"`
 	// Running is the number of jobs currently executing.
 	Running int `json:"running"`
+	// Width is the pool's effective concurrency limit — below the worker
+	// count when the AIMD limiter has narrowed it (brownout). Zero when the
+	// node predates width reporting.
+	Width int `json:"width,omitempty"`
+	// Shed counts capacity refusals (503: queue full, deadline infeasible,
+	// disconnected-while-queued) since start.
+	Shed int64 `json:"shed,omitempty"`
+	// Throttled counts quota refusals (429: rate, event budget) since
+	// start.
+	Throttled int64 `json:"throttled,omitempty"`
 }
 
 // Version is the GET /version payload. GoVersion/GOOS/GOARCH mirror the

@@ -51,6 +51,20 @@ func (j *job) snapshot() Record {
 	return j.rec
 }
 
+// cancelIfQueued cancels the job only while it is still waiting for a
+// worker, reporting whether it did. Used when a waiting client
+// disconnects: a queued job frees its slot, a running job is left to
+// finish (its result is cacheable).
+func (j *job) cancelIfQueued() bool {
+	j.mu.Lock()
+	queued := j.rec.Status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		j.cancel()
+	}
+	return queued
+}
+
 // finished reports whether the job has reached a terminal status.
 func (j *job) finished() bool {
 	select {

@@ -2,7 +2,9 @@ package server
 
 import (
 	"net/http"
+	"strings"
 
+	"involution/internal/admission"
 	"involution/internal/obs"
 )
 
@@ -18,7 +20,20 @@ type metrics struct {
 	cacheMisses *obs.Counter
 	queueFull   *obs.Counter
 
+	// The shed counter family: one counter per refusal reason (the registry
+	// has no label support, so the reason rides in the name — the
+	// simd_shed_<reason>_total convention) plus a rollup. rate and budget
+	// are quota sheds (429); deadline, capacity and disconnect are capacity
+	// sheds (503 or a freed slot).
+	shedTotal      *obs.Counter
+	shedRate       *obs.Counter
+	shedBudget     *obs.Counter
+	shedDeadline   *obs.Counter
+	shedCapacity   *obs.Counter
+	shedDisconnect *obs.Counter
+
 	queueDepth     *obs.Gauge
+	poolWidth      *obs.Gauge
 	inFlight       *obs.Gauge
 	cacheEntries   *obs.Gauge
 	cacheHitRatio  *obs.Gauge
@@ -39,7 +54,15 @@ func newMetrics(reg *obs.Registry) *metrics {
 		cacheMisses: reg.Counter("simd_cache_misses_total", "submissions that had to run"),
 		queueFull:   reg.Counter("simd_queue_full_total", "submissions rejected because the job queue was full"),
 
+		shedTotal:      reg.Counter("simd_shed_total", "submissions shed for any reason (sum of the simd_shed_<reason>_total family)"),
+		shedRate:       reg.Counter("simd_shed_rate_total", "submissions refused by a tenant's request-rate limit (429)"),
+		shedBudget:     reg.Counter("simd_shed_budget_total", "submissions refused by a tenant's simulated-event budget (429)"),
+		shedDeadline:   reg.Counter("simd_shed_deadline_total", "submissions shed because the estimated queue wait exceeded the client deadline (503)"),
+		shedCapacity:   reg.Counter("simd_shed_capacity_total", "submissions shed because the queue was full or the server was draining (503)"),
+		shedDisconnect: reg.Counter("simd_shed_disconnect_total", "queued jobs canceled because their waiting client disconnected"),
+
 		queueDepth:     reg.Gauge("simd_queue_depth", "jobs waiting in the worker-pool queue"),
+		poolWidth:      reg.Gauge("simd_pool_width", "effective worker-pool concurrency (AIMD brownout narrows it below the worker count)"),
 		inFlight:       reg.Gauge("simd_jobs_inflight", "jobs currently simulating"),
 		cacheEntries:   reg.Gauge("simd_cache_entries", "results held by the LRU cache"),
 		cacheHitRatio:  reg.Gauge("simd_cache_hit_ratio", "cache hits / (hits + misses) since start"),
@@ -55,9 +78,37 @@ func newMetrics(reg *obs.Registry) *metrics {
 	}
 }
 
+// shed bumps the per-reason shed counter and the rollup.
+func (m *metrics) shed(c *obs.Counter) {
+	c.Inc()
+	m.shedTotal.Inc()
+}
+
+// quotaSheds returns the total quota (429) refusals; capacitySheds the
+// total capacity (503 / freed-slot) refusals. Both back /healthz.
+func (m *metrics) quotaSheds() int64 {
+	return m.shedRate.Value() + m.shedBudget.Value()
+}
+
+func (m *metrics) capacitySheds() int64 {
+	return m.shedDeadline.Value() + m.shedCapacity.Value() + m.shedDisconnect.Value()
+}
+
 // refresh recomputes the instantaneous gauges from live server state.
 func (m *metrics) refresh(s *Server) {
 	m.queueDepth.Set(float64(s.pool.Depth()))
+	m.poolWidth.Set(float64(s.pool.Width()))
+	// Commit the admission accumulators — this scrape IS the coalesced
+	// flush the per-request Δ-adds were deferring — and publish one gauge
+	// set per tenant. Gauges (not counters) because a baseline is a level
+	// we re-publish, and the registry's get-or-create makes the dynamic
+	// names cheap after first sight.
+	s.admit.Flush(func(name string, u admission.Usage) {
+		sfx := sanitizeMetricName(name)
+		s.reg.Gauge("simd_tenant_admitted_"+sfx, "requests admitted for tenant "+name).Set(float64(u.Admitted))
+		s.reg.Gauge("simd_tenant_shed_"+sfx, "requests refused (rate + budget) for tenant "+name).Set(float64(u.ShedRate + u.ShedBudget))
+		s.reg.Gauge("simd_tenant_events_"+sfx, "simulated-event cost charged to tenant "+name).Set(float64(u.Events))
+	})
 	m.inFlight.Set(float64(s.pool.InFlight()))
 	m.cacheEntries.Set(float64(s.cache.len()))
 	hits, misses := float64(m.cacheHits.Value()), float64(m.cacheMisses.Value())
@@ -69,6 +120,22 @@ func (m *metrics) refresh(s *Server) {
 	recorded, dropped := s.flight.Stats() // nil-safe: 0/0 when tracing is off
 	m.flightRecorded.Set(float64(recorded))
 	m.flightDropped.Set(float64(dropped))
+}
+
+// sanitizeMetricName maps a tenant name to a legal metric-name suffix:
+// every byte outside [a-zA-Z0-9] becomes '_'.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 // metricsHandler refreshes the gauges and delegates to the registry's

@@ -27,12 +27,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"involution/internal/admission"
 	"involution/internal/obs"
 	"involution/internal/obs/tracing"
 	"involution/internal/sched"
@@ -75,15 +79,27 @@ type Config struct {
 	// restoring the zero-allocation submit path.
 	FlightSlow    int
 	FlightAborted int
+	// Admission is the multi-tenant admission controller (API keys, rate
+	// limits, event budgets). Nil admits everything — the single-user
+	// default.
+	Admission *admission.Controller
+	// AIMDTarget is the queue-wait latency above which the adaptive
+	// concurrency limiter narrows the pool (brownout). Zero uses the
+	// default 500ms; negative disables the limiter.
+	AIMDTarget time.Duration
 }
 
-// Retry-After values (seconds) sent with 503 responses so polite clients —
-// including cluster.Client — can back off without guessing: a full queue
-// clears quickly, a draining server never comes back (its replacement
-// does).
+// Retry-After bases and spreads (seconds) for 503/429 responses so polite
+// clients — including cluster.Client — can back off without guessing: a
+// full queue clears quickly, a draining server never comes back (its
+// replacement does). Each response adds a jittered extra in [0, spread] so
+// a fleet of clients refused in the same instant does not return in the
+// same instant — the thundering-herd de-synchronizer.
 const (
-	retryAfterQueueFull = "1"
-	retryAfterDraining  = "60"
+	retryQueueFullBase   = 1
+	retryQueueFullSpread = 2
+	retryDrainingBase    = 60
+	retryDrainingSpread  = 30
 )
 
 // Server is the simulation service. Create with New, mount Handler, and
@@ -96,6 +112,17 @@ type Server struct {
 	cache  *resultCache
 	flight *tracing.FlightRecorder // nil: tracing disabled
 	node   string                  // span node label (Advertise or "simd")
+
+	admit   *admission.Controller // nil: permissive
+	limiter *admission.AIMD       // nil: fixed-width pool
+	// ewmaSim is an EWMA of recent sim-run wall time (float64 seconds as
+	// bits) — the per-job service-time estimate behind deadline-aware
+	// shedding.
+	ewmaSim atomic.Uint64
+	// jitter is the splitmix64 state behind Retry-After jitter. Seeded with
+	// a fixed constant: deterministic for tests, still decorrelated across
+	// responses.
+	jitter atomic.Uint64
 
 	// baseCtx parents every job context; Drain cancels it to convert
 	// stragglers into typed canceled aborts.
@@ -142,6 +169,14 @@ func New(cfg Config) *Server {
 		builtins: defaultBuiltins(),
 		jobs:     make(map[string]*job),
 		node:     cfg.Advertise,
+		admit:    cfg.Admission,
+	}
+	if cfg.AIMDTarget >= 0 {
+		target := cfg.AIMDTarget
+		if target == 0 {
+			target = 500 * time.Millisecond
+		}
+		s.limiter = &admission.AIMD{Target: target, Min: 1, Max: cfg.Workers}
 	}
 	if s.node == "" {
 		s.node = "simd"
@@ -188,10 +223,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Advertise: s.cfg.Advertise,
 		Queue:     s.pool.Depth(),
 		Running:   s.pool.InFlight(),
+		Width:     s.pool.Width(),
+		Shed:      s.met.capacitySheds(),
+		Throttled: s.met.quotaSheds(),
 	}
 	if s.draining.Load() {
 		h.Status = "draining"
-		w.Header().Set("Retry-After", retryAfterDraining)
+		w.Header().Set("Retry-After", s.retryAfter(retryDrainingBase, retryDrainingSpread))
 		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
@@ -216,11 +254,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(api.ContentKeyHeader, ck)
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", retryAfterDraining)
+		s.met.shed(s.met.shedCapacity)
+		w.Header().Set("Retry-After", s.retryAfter(retryDrainingBase, retryDrainingSpread))
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	t0 := time.Now()
+	// Per-tenant rate admission runs before the body is even read: a
+	// throttled flood costs one atomic compare-and-swap per request, not a
+	// decode + compile.
+	key := apiKey(r)
+	if d := s.admit.AdmitRequest(key, t0); !d.OK {
+		s.met.shed(s.met.shedRate)
+		w.Header().Set("Retry-After", s.retryAfterQuota(d.RetryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over request rate limit", d.Tenant))
+		return
+	}
 	remote, _ := tracing.ParseTraceparent(r.Header.Get(tracing.TraceparentHeader))
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
@@ -271,17 +321,45 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.cacheMisses.Inc()
 
+	// The job will actually run: charge its simulated-event bound against
+	// the tenant's CPU-proxy budget up front, so a conformant request rate
+	// cannot buy unbounded compute. Cache hits above never reach this
+	// charge — answering from memory is free.
+	if d := s.admit.ChargeEvents(key, eventCost(c.req.MaxEvents), time.Now()); !d.OK {
+		s.met.shed(s.met.shedBudget)
+		w.Header().Set("Retry-After", s.retryAfterQuota(d.RetryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over simulated-event budget", d.Tenant))
+		return
+	}
+
+	// Deadline-aware shed: accepting a job we cannot plausibly start inside
+	// the client's budget wastes a queue slot on an answer nobody will be
+	// around to read. Estimated wait = jobs ahead × EWMA service time ÷
+	// effective width.
+	if dl := clientDeadline(r); dl > 0 {
+		if est := s.estQueueWait(); est > dl {
+			s.met.shed(s.met.shedDeadline)
+			w.Header().Set("Retry-After", s.retryAfter(retryQueueFullBase, retryQueueFullSpread))
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("deadline infeasible: estimated queue wait %v exceeds deadline %v",
+					est.Round(time.Millisecond), dl))
+			return
+		}
+	}
+
 	j := s.register(c, wantTrace)
 	s.beginTrace(j, remote, t0)
 	j.traceCacheLookup(false)
 	j.traceEnqueue()
 	if err := s.pool.Submit(func() { s.runJob(j) }); err != nil {
 		s.unregister(j)
+		s.met.shed(s.met.shedCapacity)
 		if errors.Is(err, sched.ErrQueueFull) {
 			s.met.queueFull.Inc()
-			w.Header().Set("Retry-After", retryAfterQueueFull)
+			w.Header().Set("Retry-After", s.retryAfter(retryQueueFullBase, retryQueueFullSpread))
 		} else {
-			w.Header().Set("Retry-After", retryAfterDraining)
+			w.Header().Set("Retry-After", s.retryAfter(retryDrainingBase, retryDrainingSpread))
 		}
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -299,15 +377,119 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Job-Id", j.snapshot().ID)
 		s.streamTrace(w, r, j)
 	case q.Get("wait") == "1":
+		// A waiting client that disconnects while its job is still queued
+		// has its job canceled — the slot goes to a request someone is
+		// still waiting for. A job that already started keeps running (its
+		// result is cacheable either way).
+		stop := context.AfterFunc(r.Context(), func() {
+			if j.cancelIfQueued() {
+				s.met.shed(s.met.shedDisconnect)
+			}
+		})
+		defer stop()
 		select {
 		case <-j.done:
 			writeJSON(w, http.StatusOK, j.snapshot())
 		case <-r.Context().Done():
-			// Client went away while waiting; the job keeps running.
+			// Client went away while waiting; see the AfterFunc above.
 		}
 	default:
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 	}
+}
+
+// apiKey extracts the tenant key from the X-Api-Key header, falling back
+// to an Authorization bearer token. Empty means anonymous.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get(api.APIKeyHeader); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); len(auth) > 7 && strings.EqualFold(auth[:7], "Bearer ") {
+		return strings.TrimSpace(auth[7:])
+	}
+	return ""
+}
+
+// clientDeadline parses the X-Deadline-Ms header (0: no deadline).
+func clientDeadline(r *http.Request) time.Duration {
+	ms, err := strconv.ParseInt(r.Header.Get(api.DeadlineHeader), 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// eventCost is the tenant-budget charge of a submit: its event bound, with
+// the simulator default applied when the request leaves it zero — an
+// unbounded request costs the default budget, not nothing.
+func eventCost(maxEvents int) int64 {
+	if maxEvents <= 0 {
+		return sim.DefaultMaxEvents
+	}
+	return int64(maxEvents)
+}
+
+// jitterN draws a uniform integer in [0, n] from the seeded splitmix64
+// stream — the thundering-herd de-synchronizer behind Retry-After.
+func (s *Server) jitterN(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	z := s.jitter.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n+1))
+}
+
+// retryAfter renders a jittered Retry-After value in [base, base+spread]
+// seconds.
+func (s *Server) retryAfter(base, spread int) string {
+	return strconv.Itoa(base + s.jitterN(spread))
+}
+
+// retryAfterQuota renders the Retry-After for a quota (429) refusal: the
+// limiter's own conformance wait, rounded up to whole seconds, plus up to
+// 2s of jitter so a synchronized tenant fleet spreads out on return.
+func (s *Server) retryAfterQuota(wait time.Duration) string {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs + s.jitterN(2))
+}
+
+// observeSimTime folds one sim-run duration into the EWMA service-time
+// estimate (α = 0.2).
+func (s *Server) observeSimTime(d time.Duration) {
+	for {
+		old := s.ewmaSim.Load()
+		prev := math.Float64frombits(old)
+		next := d.Seconds()
+		if old != 0 {
+			next = 0.8*prev + 0.2*next
+		}
+		if s.ewmaSim.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// estQueueWait estimates how long a submit accepted now would wait for a
+// worker: jobs ahead of it × EWMA service time ÷ effective pool width.
+// Zero until the first job finishes — a cold server sheds nothing on
+// deadline grounds.
+func (s *Server) estQueueWait() time.Duration {
+	ewma := math.Float64frombits(s.ewmaSim.Load())
+	if ewma <= 0 {
+		return 0
+	}
+	width := s.pool.Width()
+	if width < 1 {
+		width = 1
+	}
+	ahead := float64(s.pool.Depth() + 1)
+	return time.Duration(ahead * ewma / float64(width) * float64(time.Second))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -434,7 +616,28 @@ func (s *Server) runJob(j *job) {
 	j.rec.Started = &start
 	submitted := j.rec.Submitted
 	j.mu.Unlock()
-	s.met.queueWait.Observe(start.Sub(submitted).Seconds())
+	queueWait := start.Sub(submitted)
+	s.met.queueWait.Observe(queueWait.Seconds())
+	// Queue wait is the congestion signal: while it stays under target the
+	// limiter re-widens additively; when it blows past target the pool
+	// narrows multiplicatively — brownout before collapse.
+	if s.limiter != nil {
+		s.pool.SetWidth(s.limiter.Observe(queueWait))
+	}
+
+	// Fast release: a job canceled while it was still queued (waiting
+	// client disconnected, or Drain timed out) gives its worker slot back
+	// immediately instead of starting a simulation nobody wants.
+	if j.ctx.Err() != nil {
+		s.finishJob(j, start, ResultPayload{
+			Status:   StatusAborted,
+			Class:    string(sim.ClassCanceled),
+			Error:    "server: job canceled while queued",
+			ExitCode: sim.ExitCode(sim.ClassCanceled),
+			Horizon:  j.c.req.Horizon,
+		})
+		return
+	}
 
 	var simSp *tracing.Span
 	if j.tr != nil {
@@ -467,6 +670,7 @@ func (s *Server) runJob(j *job) {
 	res, err := sim.Run(j.c.circuit, j.c.inputs, opts)
 	simEnd := time.Now()
 	s.met.simRun.Observe(simEnd.Sub(simStart).Seconds())
+	s.observeSimTime(simEnd.Sub(simStart))
 	simSp.SetStart(simStart)
 
 	var p ResultPayload

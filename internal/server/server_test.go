@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -533,9 +534,24 @@ func TestQueueFullRejects(t *testing.T) {
 	s.Drain(50 * time.Millisecond) // cancel the deliberately endless jobs
 }
 
-// TestRetryAfterOn503 asserts the Retry-After header rides along with both
-// 503 paths — a full queue (transient: short) and a draining server
-// (permanent: long) — so polite clients can back off without guessing.
+// retryAfterIn asserts a Retry-After header parses and lands inside
+// [base, base+spread] — the jittered window, not an exact value: identical
+// refusals must not tell a fleet of clients to return in the same instant.
+func retryAfterIn(t *testing.T, got string, base, spread int) {
+	t.Helper()
+	n, err := strconv.Atoi(got)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want integer seconds", got)
+	}
+	if n < base || n > base+spread {
+		t.Fatalf("Retry-After = %d, want in [%d, %d]", n, base, base+spread)
+	}
+}
+
+// TestRetryAfterOn503 asserts a jittered Retry-After header rides along
+// with both 503 paths — a full queue (transient: short) and a draining
+// server (permanent: long) — so polite clients can back off without
+// guessing or stampeding back together.
 func TestRetryAfterOn503(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 1})
 	t.Cleanup(func() { s.Drain(10 * time.Second) })
@@ -546,9 +562,7 @@ func TestRetryAfterOn503(t *testing.T) {
 		slow.Seed = int64(i)
 		w := doJSON(t, h, "POST", "/v1/jobs", slow)
 		if w.Code == http.StatusServiceUnavailable {
-			if got := w.Header().Get("Retry-After"); got != retryAfterQueueFull {
-				t.Fatalf("queue-full Retry-After = %q, want %q", got, retryAfterQueueFull)
-			}
+			retryAfterIn(t, w.Header().Get("Retry-After"), retryQueueFullBase, retryQueueFullSpread)
 			break
 		}
 		if i > 10 {
@@ -559,13 +573,13 @@ func TestRetryAfterOn503(t *testing.T) {
 
 	if w := doJSON(t, h, "POST", "/v1/jobs", Request{Netlist: bufNetlist}); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("submit while draining: status %d, want 503", w.Code)
-	} else if got := w.Header().Get("Retry-After"); got != retryAfterDraining {
-		t.Fatalf("draining submit Retry-After = %q, want %q", got, retryAfterDraining)
+	} else {
+		retryAfterIn(t, w.Header().Get("Retry-After"), retryDrainingBase, retryDrainingSpread)
 	}
 	if w := doJSON(t, h, "GET", "/healthz", nil); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("healthz while draining: status %d, want 503", w.Code)
-	} else if got := w.Header().Get("Retry-After"); got != retryAfterDraining {
-		t.Fatalf("draining healthz Retry-After = %q, want %q", got, retryAfterDraining)
+	} else {
+		retryAfterIn(t, w.Header().Get("Retry-After"), retryDrainingBase, retryDrainingSpread)
 	}
 }
 
