@@ -29,7 +29,7 @@ func BenchmarkOverloadGoodput(b *testing.B) {
 			s := server.New(server.Config{
 				Workers:    runtime.GOMAXPROCS(0),
 				QueueDepth: 16,
-				CacheSize:  1024,
+				CacheBytes: 32 << 20,
 			})
 			ts := httptest.NewServer(s.Handler())
 			b.Cleanup(func() {

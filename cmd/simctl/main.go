@@ -11,6 +11,7 @@
 //	simctl campaign -peers host:8080 -f design.net -in 'i=0 r@1 f@2.5'
 //	simctl trace    <trace-id|job-hash> -peers host:8080,host:8081
 //	simctl top      -peers host:8080,host:8081 -once
+//	simctl query    -lake /var/lib/simd/lake -circuit spf -since 24h
 //
 // Both sweep and campaign accept -trace-out <file>: the run then records
 // a distributed trace (campaign root → scenario → dispatch → attempt
@@ -81,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runTop(args[1:], stdout, stderr)
 	case "chaos-soak":
 		return runChaosSoak(args[1:], stdout, stderr)
+	case "query":
+		return runQuery(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -98,6 +101,7 @@ func usage(w io.Writer) {
   simctl trace    <trace-id|job-hash> -peers <addr,...> [-spans file]   render one trace's cross-node timeline
   simctl top      -peers <addr,...> [-n 10] [-once]   slowest retained jobs across the fleet
   simctl chaos-soak -peers <addr,...> [-schedules 2] [-dir out]   byte-identity soak under seeded chaos + coordinator kill/resume
+  simctl query    -lake <dir> [-key hex] [-circuit name] [-class name] [-since t] [-until t] [-json|-payload]   search/export a result lake, no daemon needed
 
 run 'simctl <command> -h' for the command's flags
 `)
@@ -459,10 +463,11 @@ func clusterSummary(w io.Writer, reg *obs.Registry) {
 	for _, s := range reg.Snapshot() {
 		vals[s.Name] = s.Value
 	}
-	fmt.Fprintf(w, "cluster: %.0f dispatched, %.0f hedges (%.0f won / %.0f lost / %.0f canceled), %.0f reschedules, %.0f attempt failures, %.0f remote cache hits, %.0f integrity failures, %.0f checkpoint replays\n",
+	fmt.Fprintf(w, "cluster: %.0f dispatched, %.0f hedges (%.0f won / %.0f lost / %.0f canceled), %.0f reschedules, %.0f attempt failures, %.0f remote cache hits (%.0f lake dedups), %.0f integrity failures, %.0f checkpoint replays\n",
 		vals["cluster_dispatch_total"], vals["cluster_hedge_total"],
 		vals["cluster_hedges_won_total"], vals["cluster_hedges_lost_total"], vals["cluster_hedges_canceled_total"],
 		vals["cluster_reschedule_total"], vals["cluster_attempt_failure_total"], vals["cluster_remote_cache_hit_total"],
+		vals["cluster_lake_dedup_total"],
 		vals["cluster_integrity_failures_total"], vals["cluster_checkpoint_replayed_total"])
 }
 

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"involution/internal/lake"
+	"involution/internal/sim"
+)
+
+// runQuery searches a result lake straight from its directory — no
+// running daemon: the lake opens read-only, so a live simd writing to the
+// same directory is undisturbed. Matches filter by content-key prefix,
+// circuit, adversary class and time range; -json emits metadata as JSONL,
+// -payload exports the exact stored result bytes of a unique match
+// (byte-identical to what the serving node returned).
+func runQuery(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simctl query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("lake", "", "result-lake directory (required)")
+	key := fs.String("key", "", "content key, exact or hex prefix")
+	circ := fs.String("circuit", "", "circuit name filter")
+	class := fs.String("class", "", "adversary class filter (zero|worst|maxup|uniform for built-ins)")
+	since := fs.String("since", "", "only results at or after this time (RFC3339, or a duration ago like 24h)")
+	until := fs.String("until", "", "only results at or before this time (RFC3339, or a duration ago like 1h)")
+	limit := fs.Int("n", 0, "stop after this many matches (0: all)")
+	asJSON := fs.Bool("json", false, "emit matches as JSONL metadata instead of a table")
+	payload := fs.Bool("payload", false, "write the stored result payload of a unique match to stdout (byte-identical export)")
+	if err := fs.Parse(args); err != nil {
+		return sim.ExitUsage
+	}
+	if *dir == "" {
+		return fatal(stderr, fmt.Errorf("-lake <dir> is required"))
+	}
+	now := time.Now()
+	sinceT, err := parseWhen(*since, now)
+	if err != nil {
+		return fatal(stderr, fmt.Errorf("-since: %w", err))
+	}
+	untilT, err := parseWhen(*until, now)
+	if err != nil {
+		return fatal(stderr, fmt.Errorf("-until: %w", err))
+	}
+
+	lk, err := lake.Open(lake.Options{Dir: *dir, ReadOnly: true})
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	defer lk.Close()
+
+	var matches []lake.Meta
+	lk.Scan(func(m lake.Meta) bool {
+		switch {
+		case *key != "" && !strings.HasPrefix(m.Key, *key):
+		case *circ != "" && m.Circuit != *circ:
+		case *class != "" && m.Class != *class:
+		case !sinceT.IsZero() && m.At.Before(sinceT):
+		case !untilT.IsZero() && m.At.After(untilT):
+		default:
+			matches = append(matches, m)
+		}
+		return *limit <= 0 || len(matches) < *limit
+	})
+
+	if *payload {
+		if len(matches) != 1 {
+			return fatal(stderr, fmt.Errorf("-payload needs exactly one match, filters matched %d (narrow with -key)", len(matches)))
+		}
+		raw, ok := lk.Fetch(matches[0])
+		if !ok {
+			return fatal(stderr, fmt.Errorf("result %s failed integrity verification and was quarantined", matches[0].Key))
+		}
+		if _, err := stdout.Write(raw); err != nil {
+			return fatal(stderr, err)
+		}
+		return 0
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		for _, m := range matches {
+			if err := enc.Encode(m); err != nil {
+				return fatal(stderr, err)
+			}
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "%-16s  %-20s  %-8s  %8s  %s\n", "KEY", "CIRCUIT", "CLASS", "BYTES", "AT")
+	var total int64
+	for _, m := range matches {
+		k := m.Key
+		if len(k) > 16 {
+			k = k[:16]
+		}
+		fmt.Fprintf(stdout, "%-16s  %-20s  %-8s  %8d  %s\n",
+			k, m.Circuit, m.Class, m.Len, m.At.Local().Format(time.RFC3339))
+		total += int64(m.Len)
+	}
+	st := lk.Stats()
+	fmt.Fprintf(stdout, "%d of %d results matched (%d bytes); lake: %d bytes in %d segments\n",
+		len(matches), st.Entries, total, st.Bytes, st.Segments)
+	return 0
+}
+
+// parseWhen parses a point in time: RFC3339, or a duration meaning "that
+// long before now". Empty means unset.
+func parseWhen(s string, now time.Time) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return now.Add(-d), nil
+	}
+	return time.Parse(time.RFC3339, s)
+}

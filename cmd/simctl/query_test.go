@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"involution/internal/lake"
+	"involution/internal/server"
+)
+
+func lakeKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("query-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestQueryFiltersAndExport drives `simctl query` over a hand-populated
+// lake: table listing, per-field filters, JSONL output, and the -payload
+// export returning the exact stored bytes.
+func TestQueryFiltersAndExport(t *testing.T) {
+	dir := t.TempDir()
+	lk, err := lake.Open(lake.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload0 := []byte(`{"status":"completed","outputs":{"o":"0 r@1"}}`)
+	puts := []struct {
+		key, circuit, class string
+		payload             []byte
+	}{
+		{lakeKey(0), "spf", "worst", payload0},
+		{lakeKey(1), "spf", "zero", []byte(`{"status":"completed","outputs":{"o":"0"}}`)},
+		{lakeKey(2), "chain", "", []byte(`{"status":"completed","outputs":{"o":"1"}}`)},
+	}
+	for _, p := range puts {
+		if err := lk.Put(p.key, p.circuit, p.class, p.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lk.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := runCLI(t, "query", "-lake", dir)
+	if code != 0 {
+		t.Fatalf("query: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "3 of 3 results matched") {
+		t.Fatalf("table summary missing:\n%s", out)
+	}
+	for _, want := range []string{"spf", "chain", "worst"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out = runCLI(t, "query", "-lake", dir, "-circuit", "spf", "-class", "worst")
+	if code != 0 || !strings.Contains(out, "1 of 3 results matched") {
+		t.Fatalf("circuit+class filter: exit %d\n%s", code, out)
+	}
+
+	code, out = runCLI(t, "query", "-lake", dir, "-key", lakeKey(2)[:12], "-json")
+	if code != 0 {
+		t.Fatalf("key-prefix query: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, `"circuit":"chain"`) || strings.Contains(out, `"circuit":"spf"`) {
+		t.Fatalf("key prefix selected wrong entries:\n%s", out)
+	}
+
+	// Time-range: everything is newer than 24h ago, nothing is older.
+	code, out = runCLI(t, "query", "-lake", dir, "-since", "24h")
+	if code != 0 || !strings.Contains(out, "3 of 3 results matched") {
+		t.Fatalf("-since 24h: exit %d\n%s", code, out)
+	}
+	code, out = runCLI(t, "query", "-lake", dir, "-until", "24h")
+	if code != 0 || !strings.Contains(out, "0 of 3 results matched") {
+		t.Fatalf("-until 24h: exit %d\n%s", code, out)
+	}
+
+	// Payload export is byte-identical to what was stored.
+	var outBuf, errBuf bytes.Buffer
+	if code := run([]string{"query", "-lake", dir, "-key", lakeKey(0), "-payload"}, &outBuf, &errBuf); code != 0 {
+		t.Fatalf("payload export: exit %d\n%s", code, errBuf.String())
+	}
+	if !bytes.Equal(outBuf.Bytes(), payload0) {
+		t.Fatalf("exported payload differs:\n got %s\nwant %s", outBuf.Bytes(), payload0)
+	}
+
+	// Ambiguous -payload refuses instead of guessing.
+	if code, out := runCLI(t, "query", "-lake", dir, "-circuit", "spf", "-payload"); code == 0 {
+		t.Fatalf("ambiguous -payload succeeded:\n%s", out)
+	}
+}
+
+// lakeNode starts a simd server over a fresh lake handle on dir and
+// returns its address plus a stop func — so tests can "restart" a node
+// while keeping the directory.
+func lakeNode(t *testing.T, dir string) (addr string, stop func()) {
+	t.Helper()
+	lk, err := lake.Open(lake.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Workers: 2, QueueDepth: 64, Lake: lk})
+	hs := httptest.NewServer(s.Handler())
+	return hs.Listener.Addr().String(), func() {
+		hs.Close()
+		s.Drain(5 * time.Second)
+		if err := lk.Close(); err != nil {
+			t.Errorf("lake close: %v", err)
+		}
+	}
+}
+
+// TestSweepLakeDedupAcrossRestart is the cross-campaign dedup contract at
+// the CLI level: a sweep against a lake-backed node, a full node restart,
+// and the identical sweep again — the re-run must dispatch zero fresh
+// simulations (every shard is a lake dedup), and the merged reports must
+// be byte-identical.
+func TestSweepLakeDedupAcrossRestart(t *testing.T) {
+	lakeDir := t.TempDir()
+	outDir := t.TempDir()
+
+	addr, stop := lakeNode(t, lakeDir)
+	first := filepath.Join(outDir, "first.csv")
+	code, log := runCLI(t, "sweep", "-peers", addr, "-adversaries", "zero,worst", "-horizon", "200", "-csv", first)
+	if code != 0 {
+		t.Fatalf("first sweep: exit %d\n%s", code, log)
+	}
+	stop()
+
+	addr, stop = lakeNode(t, lakeDir)
+	defer stop()
+	second := filepath.Join(outDir, "second.csv")
+	code, log = runCLI(t, "sweep", "-peers", addr, "-adversaries", "zero,worst", "-horizon", "200", "-csv", second)
+	if code != 0 {
+		t.Fatalf("re-run sweep: exit %d\n%s", code, log)
+	}
+
+	a, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-run sweep report differs from the original")
+	}
+
+	// The summary counts every shard as a lake dedup…
+	if !strings.Contains(log, "lake dedups") || strings.Contains(log, "(0 lake dedups)") {
+		t.Fatalf("re-run summary reports no lake dedups:\n%s", log)
+	}
+	// …and the restarted node really simulated nothing: every submit was
+	// answered from the lake tier.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"simd_jobs_completed_total 0\n", "simd_cache_misses_total 0\n"} {
+		if !strings.Contains(string(met), want) {
+			t.Fatalf("restarted node metrics missing %q:\n%s", want, met)
+		}
+	}
+	if strings.Contains(string(met), "simd_cache_hits_lake_total 0\n") {
+		t.Fatalf("restarted node served no lake hits:\n%s", met)
+	}
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: exec copies child stderr
+// into it from a background goroutine, and the test reads it while the
+// child is still running.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// buildSimd compiles this command into dir and returns the binary path.
+func buildSimd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "simd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLakeSurvivesSIGKILL is the acceptance test for lake durability: a
+// simd process is killed with SIGKILL — no drain, no lake Close, no final
+// fsync — and a fresh process over the same -lake directory still answers
+// the identical submit from the lake tier with a byte-identical result
+// body.
+func TestLakeSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real process")
+	}
+	dir := t.TempDir()
+	bin := buildSimd(t, dir)
+	lakeDir := filepath.Join(dir, "lake")
+
+	body, _ := json.Marshal(map[string]any{
+		"netlist": testNetlist,
+		"inputs":  map[string]string{"i": "0 r@1 f@2"},
+		"horizon": 10,
+	})
+	submit := func(t *testing.T, base string) map[string]json.RawMessage {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+		}
+		var rec map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatalf("decode record: %v\n%s", err, raw)
+		}
+		return rec
+	}
+
+	addr := freeAddr(t)
+	victim := exec.Command(bin, "-listen", addr, "-lake", lakeDir)
+	var victimLog syncBuffer
+	victim.Stderr = &victimLog
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Process.Kill()
+	waitHealthy(t, "http://"+addr)
+
+	first := submit(t, "http://"+addr)
+	if string(first["status"]) != `"completed"` {
+		t.Fatalf("first run: %s", first["status"])
+	}
+
+	// SIGKILL: the process gets no chance to flush, close, or write its
+	// index. The result was fully written to the OS by the completed
+	// response, so the recovery scan must find it.
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	addr2 := freeAddr(t)
+	restarted := exec.Command(bin, "-listen", addr2, "-lake", lakeDir)
+	var restartLog syncBuffer
+	restarted.Stderr = &restartLog
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		restarted.Process.Signal(syscall.SIGTERM)
+		restarted.Wait()
+	}()
+	waitHealthy(t, "http://"+addr2)
+
+	second := submit(t, "http://"+addr2)
+	if string(second["cached"]) != "true" {
+		t.Fatalf("post-SIGKILL submit not served from the lake: %v\nvictim log:\n%s\nrestart log:\n%s",
+			second, victimLog.String(), restartLog.String())
+	}
+	if string(second["cache_tier"]) != `"lake"` {
+		t.Fatalf("cache_tier = %s, want \"lake\"", second["cache_tier"])
+	}
+	var fb, sb bytes.Buffer
+	if err := json.Compact(&fb, first["result"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&sb, second["result"]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fb.Bytes(), sb.Bytes()) {
+		t.Fatalf("result bodies differ across SIGKILL:\n first %s\nsecond %s", fb.Bytes(), sb.Bytes())
+	}
+	if string(first["result_hash"]) != string(second["result_hash"]) {
+		t.Fatalf("result hashes differ: %s vs %s", first["result_hash"], second["result_hash"])
+	}
+
+	// The startup banner reported the recovered result.
+	if !strings.Contains(restartLog.String(), "1 results") {
+		t.Fatalf("restart banner did not report the recovered lake:\n%s", restartLog.String())
+	}
+}

@@ -59,6 +59,7 @@ import (
 
 	"involution/internal/admission"
 	"involution/internal/chaos"
+	"involution/internal/lake"
 	"involution/internal/server"
 	"involution/internal/sim"
 )
@@ -75,7 +76,9 @@ func run() int {
 	listen := fs.String("listen", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "simulation worker-pool size (default: GOMAXPROCS)")
 	queue := fs.Int("queue", 64, "queued-job bound; full queues reject submits with 503")
-	cacheSize := fs.Int("cache", 256, "result-cache entry bound (negative disables caching)")
+	cacheBytes := fs.Int64("cache-bytes", 32<<20, "RAM result-cache byte bound (negative disables caching)")
+	lakeDir := fs.String("lake", "", "persistent result-lake directory: completed results are written through and survive restarts; identical submits are answered from disk (default: no lake)")
+	lakeBytes := fs.Int64("lake-bytes", 1<<30, "result-lake byte bound; oldest segments are collected past it")
 	advertise := fs.String("advertise", "", "address this node believes it serves on, echoed in /healthz and /version so coordinators can verify routing (default: none)")
 	jobsJSON := fs.String("jobs-json", "", "flush job records to this file as JSONL on shutdown")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound; stragglers are canceled after it")
@@ -113,10 +116,23 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "simd: admission control on (%d configured tenants, default rps=%g)\n",
 			len(admCfg.Tenants), admCfg.Default.RPS)
 	}
+	var lk *lake.Lake
+	if *lakeDir != "" {
+		var err error
+		lk, err = lake.Open(lake.Options{Dir: *lakeDir, MaxBytes: *lakeBytes})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: -lake: %v\n", err)
+			return sim.ExitUsage
+		}
+		st := lk.Stats()
+		fmt.Fprintf(os.Stderr, "simd: result lake %s (%d results, %d bytes, %d segments)\n",
+			*lakeDir, st.Entries, st.Bytes, st.Segments)
+	}
 	srv := server.New(server.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
-		CacheSize:     *cacheSize,
+		CacheBytes:    *cacheBytes,
+		Lake:          lk,
 		Version:       version,
 		Advertise:     *advertise,
 		FlightSlow:    *flightSlow,
@@ -142,8 +158,8 @@ func run() int {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "simd: listening on %s (workers=%d queue=%d cache=%d)\n",
-			*listen, *workers, *queue, *cacheSize)
+		fmt.Fprintf(os.Stderr, "simd: listening on %s (workers=%d queue=%d cache-bytes=%d)\n",
+			*listen, *workers, *queue, *cacheBytes)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -181,6 +197,13 @@ func run() int {
 			return sim.ExitUsage
 		}
 		fmt.Fprintf(os.Stderr, "simd: job records flushed to %s\n", *jobsJSON)
+	}
+	// Close the lake only after the drain: write-throughs come from pool
+	// workers, and every one of them has finished by now.
+	if lk != nil {
+		if err := lk.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "simd: lake close: %v\n", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "simd: drained, bye")
 	return sim.ExitOK

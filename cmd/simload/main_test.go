@@ -28,7 +28,7 @@ func TestRunUsageErrors(t *testing.T) {
 
 func TestFloodShedsAndPasses(t *testing.T) {
 	s := server.New(server.Config{
-		Workers: 1, QueueDepth: 2, CacheSize: 64,
+		Workers: 1, QueueDepth: 2, CacheBytes: 1 << 20,
 		Admission: admission.New(admission.Config{
 			Default: admission.Limits{RPS: 20, Burst: 5},
 		}),
@@ -56,7 +56,7 @@ func TestFloodShedsAndPasses(t *testing.T) {
 }
 
 func TestAssertionFailureExitsAbort(t *testing.T) {
-	s := server.New(server.Config{Workers: 2, QueueDepth: 64, CacheSize: 64})
+	s := server.New(server.Config{Workers: 2, QueueDepth: 64, CacheBytes: 1 << 20})
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()

@@ -43,7 +43,7 @@ func benchNode(b *testing.B, workers int) string {
 // the resource that adding nodes multiplies.
 func benchPacedNode(b *testing.B, workers int, pace time.Duration) string {
 	b.Helper()
-	s := server.New(server.Config{Workers: workers, QueueDepth: 4096, CacheSize: 4096})
+	s := server.New(server.Config{Workers: workers, QueueDepth: 4096, CacheBytes: 64 << 20})
 	inner := s.Handler()
 	var h http.Handler = inner
 	if pace > 0 {

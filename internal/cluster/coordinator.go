@@ -312,6 +312,13 @@ func (c *Coordinator) RunOne(ctx context.Context, req api.Request) (api.Record, 
 	if rec.Cached {
 		c.met.incRemoteHit()
 		shard.SetAttrs(tracing.Int("remote_cache_hit", 1))
+		// A lake-tier hit means the node answered from its persistent
+		// store: the result predates this campaign (or even this process),
+		// so the sweep deduplicated real work, not just a warm RAM cache.
+		if rec.CacheTier == api.TierLake {
+			c.met.incLakeDedup()
+			shard.SetAttrs(tracing.Int("lake_dedup", 1))
+		}
 	}
 	// Make the shard durable before surfacing it: after a crash between
 	// Append and the caller's own flush, re-running the shard replays this

@@ -23,6 +23,7 @@ type metrics struct {
 	retries        *obs.Counter // shard reschedules onto another node
 	failures       *obs.Counter // attempts that failed (transport or 5xx)
 	remoteHits     *obs.Counter // shards answered from a node's result cache
+	lakeDedups     *obs.Counter // shards answered from a node's persistent lake
 	integrity      *obs.Counter // replies failing end-to-end verification
 	replays        *obs.Counter // shards replayed from the checkpoint journal
 	throttled      *obs.Counter // attempts refused 429 by fleet admission control
@@ -42,7 +43,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		hedgesCanceled: reg.Counter("cluster_hedges_canceled_total", "hedges reeled in undecided because the outer context was canceled"),
 		retries:        reg.Counter("cluster_reschedule_total", "shards rescheduled onto another node after a failure"),
 		failures:       reg.Counter("cluster_attempt_failure_total", "shard attempts failed (transport error or refusal)"),
-		remoteHits:     reg.Counter("cluster_remote_cache_hit_total", "shards answered from a node's content-addressed result cache"),
+		remoteHits:     reg.Counter("cluster_remote_cache_hit_total", "shards answered from a node's content-addressed result cache (any tier)"),
+		lakeDedups:     reg.Counter("cluster_lake_dedup_total", "shards answered from a node's persistent result lake — work deduplicated against a previous campaign or process lifetime"),
 		integrity:      reg.Counter("cluster_integrity_failures_total", "node replies failing end-to-end verification (hash mismatch, wrong-job echo, malformed record)"),
 		replays:        reg.Counter("cluster_checkpoint_replayed_total", "shards answered from the coordinator's checkpoint journal without dispatch"),
 		throttled:      reg.Counter("cluster_throttled_total", "shard attempts refused with 429 by a node's admission control (tenant quota, not node illness)"),
@@ -98,6 +100,12 @@ func (m *metrics) incFailure() {
 func (m *metrics) incRemoteHit() {
 	if m != nil {
 		m.remoteHits.Inc()
+	}
+}
+
+func (m *metrics) incLakeDedup() {
+	if m != nil {
+		m.lakeDedups.Inc()
 	}
 }
 

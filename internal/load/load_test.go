@@ -24,7 +24,7 @@ func overloadedNode(t *testing.T, cfg server.Config) string {
 }
 
 func TestRunAccountsEveryArrival(t *testing.T) {
-	addr := overloadedNode(t, server.Config{Workers: 2, QueueDepth: 4, CacheSize: 64})
+	addr := overloadedNode(t, server.Config{Workers: 2, QueueDepth: 4, CacheBytes: 1 << 20})
 	res, err := Run(context.Background(), Profile{
 		Addr:     addr,
 		Duration: 500 * time.Millisecond,
@@ -72,7 +72,7 @@ func TestRunFloodShedsUnderQuota(t *testing.T) {
 		Default: admission.Limits{RPS: 10, Burst: 5},
 	})
 	addr := overloadedNode(t, server.Config{
-		Workers: 1, QueueDepth: 4, CacheSize: 64, Admission: ctl,
+		Workers: 1, QueueDepth: 4, CacheBytes: 1 << 20, Admission: ctl,
 	})
 	res, err := Run(context.Background(), Profile{
 		Addr:     addr,
@@ -104,7 +104,7 @@ func TestRunFloodShedsUnderQuota(t *testing.T) {
 }
 
 func TestCalibrateAndWidth(t *testing.T) {
-	addr := overloadedNode(t, server.Config{Workers: 3, QueueDepth: 8, CacheSize: 64})
+	addr := overloadedNode(t, server.Config{Workers: 3, QueueDepth: 8, CacheBytes: 1 << 20})
 	d, err := Calibrate(context.Background(), addr, 20, 999_999, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)

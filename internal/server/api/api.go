@@ -36,6 +36,15 @@ const APIKeyHeader = "X-Api-Key"
 // too late to matter.
 const DeadlineHeader = "X-Deadline-Ms"
 
+// Cache tiers reported in Record.CacheTier.
+const (
+	// TierMem marks a hit served by the in-process RAM LRU.
+	TierMem = "mem"
+	// TierLake marks a hit served by the persistent result lake — a
+	// result that may predate the serving process.
+	TierLake = "lake"
+)
+
 // Status is a job's lifecycle state.
 type Status string
 
@@ -113,6 +122,11 @@ type Record struct {
 	Error string `json:"error,omitempty"`
 	// Cached marks a job answered from the result cache without running.
 	Cached bool `json:"cached,omitempty"`
+	// CacheTier names the tier that answered a cached job: TierMem (the
+	// RAM LRU) or TierLake (the persistent result lake). Coordinators use
+	// it to count cross-campaign dedups — a lake hit means the result
+	// predates this node's current process.
+	CacheTier string `json:"cache_tier,omitempty"`
 	// Trace marks a job recording a live event trace
 	// (/v1/jobs/{id}/trace).
 	Trace bool `json:"trace,omitempty"`

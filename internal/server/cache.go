@@ -6,59 +6,72 @@ import (
 	"sync"
 )
 
-// resultCache is a bounded LRU of serialized results keyed by the canonical
-// request hash. Values are the exact bytes served to the first client, so a
-// cache hit is byte-identical to the original result by construction.
+// resultCache is a byte-bounded LRU of serialized results keyed by the
+// canonical request hash. Values are the exact bytes served to the first
+// client, so a cache hit is byte-identical to the original result by
+// construction. The bound is the sum of cached payload bytes — one huge
+// trace can no longer blow memory while tiny results under-fill an
+// entry-count bound. Each entry also carries the payload's precomputed
+// ResultHash so the hit path never re-compacts or re-hashes the bytes.
 type resultCache struct {
-	mu    sync.Mutex
-	max   int
-	order *list.List               // front = most recently used
-	byKey map[string]*list.Element // value: *cacheEntry
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	order    *list.List               // front = most recently used
+	byKey    map[string]*list.Element // value: *cacheEntry
 }
 
 type cacheEntry struct {
-	key string
-	val json.RawMessage
+	key  string
+	val  json.RawMessage
+	hash string // api.ResultHashOf(val), computed once at insert
 }
 
-func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{maxBytes: maxBytes, order: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-// get returns the cached result bytes and marks the entry most recently
-// used.
-func (c *resultCache) get(key string) (json.RawMessage, bool) {
+// get returns the cached result bytes and their ResultHash, marking the
+// entry most recently used.
+func (c *resultCache) get(key string) (json.RawMessage, string, bool) {
 	if c == nil {
-		return nil, false
+		return nil, "", false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	e := el.Value.(*cacheEntry)
+	return e.val, e.hash, true
 }
 
-// put stores the result bytes, evicting the least recently used entry when
-// the cache is full.
-func (c *resultCache) put(key string, val json.RawMessage) {
-	if c == nil || c.max <= 0 {
+// put stores the result bytes, evicting least recently used entries until
+// the byte bound holds again. A payload larger than the whole bound is
+// refused rather than wiping the cache for one uncacheable giant.
+func (c *resultCache) put(key string, val json.RawMessage, hash string) {
+	if c == nil || c.maxBytes <= 0 || int64(len(val)) > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val, e.hash = val, hash
 		c.order.MoveToFront(el)
-		return
+	} else {
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val, hash: hash})
+		c.bytes += int64(len(val))
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
-	for c.order.Len() > c.max {
+	for c.bytes > c.maxBytes {
 		last := c.order.Back()
+		e := last.Value.(*cacheEntry)
 		c.order.Remove(last)
-		delete(c.byKey, last.Value.(*cacheEntry).key)
+		delete(c.byKey, e.key)
+		c.bytes -= int64(len(e.val))
 	}
 }
 
@@ -70,4 +83,75 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// size returns the cached payload bytes currently held.
+func (c *resultCache) size() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// canonMemoMax bounds the request-body memo. Entries are three small
+// strings, so even the full table is a few hundred KiB.
+const canonMemoMax = 4096
+
+// canonMemo is the fast-path memo of the submit handler: it maps the
+// SHA-256 of a raw request body to the canonical hash (and circuit name)
+// that compiling that body produced, so a repeated identical submit skips
+// JSON decode, netlist parse, circuit build, and canonical re-marshal
+// entirely — the cache hit costs one hash of the bytes on the wire.
+// Entries are only inserted after a successful compile, so a memoized
+// body is by construction a valid request whose canonical form is hash.
+type canonMemo struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List               // front = most recently used
+	byKey map[string]*list.Element // value: *memoEntry
+}
+
+type memoEntry struct {
+	key  string // hex sha256 of the raw request body
+	hash string // canonical request hash (the result-cache key)
+	name string // circuit name, for the job record
+}
+
+func newCanonMemo(max int) *canonMemo {
+	return &canonMemo{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (m *canonMemo) get(key string) (hash, name string, ok bool) {
+	if m == nil {
+		return "", "", false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, found := m.byKey[key]
+	if !found {
+		return "", "", false
+	}
+	m.order.MoveToFront(el)
+	e := el.Value.(*memoEntry)
+	return e.hash, e.name, true
+}
+
+func (m *canonMemo) put(key, hash, name string) {
+	if m == nil || m.max <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		m.order.MoveToFront(el)
+		return
+	}
+	m.byKey[key] = m.order.PushFront(&memoEntry{key: key, hash: hash, name: name})
+	for m.order.Len() > m.max {
+		last := m.order.Back()
+		m.order.Remove(last)
+		delete(m.byKey, last.Value.(*memoEntry).key)
+	}
 }

@@ -5,27 +5,34 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
 
-// TestCacheConcurrentEvictionAtCapacity hammers a tiny cache with distinct
-// hashes from many goroutines — the pattern a sharded sweep produces when
-// every scenario is a cache miss — interleaved with gets, and checks the
-// LRU invariants hold: the bound is never exceeded, map and list stay in
-// sync, and whatever survives is retrievable with the bytes that went in.
-// Run under -race this also proves put/get need no external locking.
+// TestCacheConcurrentEvictionAtCapacity hammers a tiny byte-bounded cache
+// with distinct hashes from many goroutines — the pattern a sharded sweep
+// produces when every scenario is a cache miss — interleaved with gets,
+// and checks the LRU invariants hold: the byte bound is never exceeded,
+// map, list and byte accounting stay in sync, and whatever survives is
+// retrievable with the bytes that went in. Run under -race this also
+// proves put/get need no external locking.
 func TestCacheConcurrentEvictionAtCapacity(t *testing.T) {
+	// Fixed-width payloads so the byte bound is an exact entry count.
+	val := func(g, i int) json.RawMessage {
+		return json.RawMessage(fmt.Sprintf(`{"g":%03d,"i":%03d}`, g, i))
+	}
 	const (
 		capacity   = 8
 		goroutines = 16
 		perG       = 200
 	)
-	c := newResultCache(capacity)
+	entryBytes := int64(len(val(0, 0)))
+	c := newResultCache(capacity * entryBytes)
 
 	// Pre-fill to capacity so every concurrent put below evicts.
 	for i := 0; i < capacity; i++ {
-		c.put(testHash("seed", i), json.RawMessage(`{"seed":true}`))
+		c.put(testHash("seed", i), val(999, i), "")
 	}
 	if got := c.len(); got != capacity {
 		t.Fatalf("pre-fill len = %d, want %d", got, capacity)
@@ -38,12 +45,16 @@ func TestCacheConcurrentEvictionAtCapacity(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				key := testHash(fmt.Sprintf("g%d", g), i)
-				val := json.RawMessage(fmt.Sprintf(`{"g":%d,"i":%d}`, g, i))
-				c.put(key, val)
+				c.put(key, val(g, i), "rh")
 				// Immediately reading back may miss (another goroutine can
 				// evict it), but a hit must return the exact bytes.
-				if got, ok := c.get(key); ok && string(got) != string(val) {
-					t.Errorf("get(%s) = %s, want %s", key, got, val)
+				if got, rh, ok := c.get(key); ok {
+					if string(got) != string(val(g, i)) {
+						t.Errorf("get(%s) = %s, want %s", key, got, val(g, i))
+					}
+					if rh != "rh" {
+						t.Errorf("get(%s) hash = %q, want %q", key, rh, "rh")
+					}
 				}
 				// Touch an unrelated seed key to churn the LRU order.
 				c.get(testHash("seed", i%capacity))
@@ -52,6 +63,9 @@ func TestCacheConcurrentEvictionAtCapacity(t *testing.T) {
 	}
 	wg.Wait()
 
+	if got := c.size(); got > capacity*entryBytes {
+		t.Fatalf("bytes after churn = %d, exceeds bound %d", got, capacity*entryBytes)
+	}
 	if got := c.len(); got != capacity {
 		t.Fatalf("len after churn = %d, want exactly %d (cache was at capacity throughout)", got, capacity)
 	}
@@ -59,10 +73,16 @@ func TestCacheConcurrentEvictionAtCapacity(t *testing.T) {
 	if len(c.byKey) != c.order.Len() {
 		t.Fatalf("map/list out of sync: %d keys, %d list entries", len(c.byKey), c.order.Len())
 	}
+	var sum int64
 	for key, el := range c.byKey {
-		if el.Value.(*cacheEntry).key != key {
-			t.Fatalf("entry under key %s carries key %s", key, el.Value.(*cacheEntry).key)
+		e := el.Value.(*cacheEntry)
+		if e.key != key {
+			t.Fatalf("entry under key %s carries key %s", key, e.key)
 		}
+		sum += int64(len(e.val))
+	}
+	if sum != c.bytes {
+		t.Fatalf("byte accounting drifted: entries sum to %d, counter says %d", sum, c.bytes)
 	}
 	c.mu.Unlock()
 
@@ -71,9 +91,9 @@ func TestCacheConcurrentEvictionAtCapacity(t *testing.T) {
 	for g := 0; g < goroutines; g++ {
 		for i := 0; i < perG; i++ {
 			key := testHash(fmt.Sprintf("g%d", g), i)
-			if got, ok := c.get(key); ok {
+			if got, _, ok := c.get(key); ok {
 				seen++
-				want := fmt.Sprintf(`{"g":%d,"i":%d}`, g, i)
+				want := string(val(g, i))
 				if string(got) != want {
 					t.Fatalf("survivor %s = %s, want %s", key, got, want)
 				}
@@ -82,6 +102,75 @@ func TestCacheConcurrentEvictionAtCapacity(t *testing.T) {
 	}
 	if seen == 0 {
 		t.Fatal("no churned entries survived; eviction should keep the most recent")
+	}
+}
+
+// TestCacheByteBoundMixedSizes checks the property the entry-count bound
+// lacked: a few huge payloads evict many small ones, an oversized payload
+// is refused outright, and replacement adjusts the accounting.
+func TestCacheByteBoundMixedSizes(t *testing.T) {
+	c := newResultCache(1 << 10)
+	small := json.RawMessage(`{"s":1}`)
+	for i := 0; i < 64; i++ {
+		c.put(testHash("small", i), small, "")
+	}
+	if got := c.size(); got != 64*int64(len(small)) {
+		t.Fatalf("size = %d, want %d", got, 64*int64(len(small)))
+	}
+	big := json.RawMessage(fmt.Sprintf(`{"big":%q}`, strings.Repeat("x", 400)))
+	c.put(testHash("big", 0), big, "")
+	c.put(testHash("big", 1), big, "")
+	if got := c.size(); got > 1<<10 {
+		t.Fatalf("size = %d exceeds bound after big puts", got)
+	}
+	if _, _, ok := c.get(testHash("big", 1)); !ok {
+		t.Fatal("most recent big entry evicted")
+	}
+	if _, _, ok := c.get(testHash("small", 0)); ok {
+		t.Fatal("oldest small entry survived big puts that exceeded the bound")
+	}
+
+	// Oversized: refused, nothing else disturbed.
+	before := c.len()
+	c.put(testHash("huge", 0), json.RawMessage(make([]byte, 2<<10)), "")
+	if c.len() != before {
+		t.Fatal("oversized put changed the cache")
+	}
+	if _, _, ok := c.get(testHash("huge", 0)); ok {
+		t.Fatal("oversized payload cached")
+	}
+
+	// Replacing a key with a different-size payload keeps accounting exact.
+	c.put(testHash("big", 1), small, "")
+	c.mu.Lock()
+	var sum int64
+	for _, el := range c.byKey {
+		sum += int64(len(el.Value.(*cacheEntry).val))
+	}
+	if sum != c.bytes {
+		t.Fatalf("accounting after replace: sum %d, counter %d", sum, c.bytes)
+	}
+	c.mu.Unlock()
+}
+
+// TestCanonMemo checks the submit fast-path memo: bounded, LRU, and a
+// miss after eviction.
+func TestCanonMemo(t *testing.T) {
+	m := newCanonMemo(2)
+	m.put("a", "hash-a", "chain")
+	m.put("b", "hash-b", "spf")
+	if h, n, ok := m.get("a"); !ok || h != "hash-a" || n != "chain" {
+		t.Fatalf("get a = %q %q %v", h, n, ok)
+	}
+	m.put("c", "hash-c", "ring") // evicts b (a was just touched)
+	if _, _, ok := m.get("b"); ok {
+		t.Fatal("b survived past the bound")
+	}
+	if _, _, ok := m.get("a"); !ok {
+		t.Fatal("a evicted despite being most recently used")
+	}
+	if _, _, ok := m.get("c"); !ok {
+		t.Fatal("c missing")
 	}
 }
 

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"involution/internal/lake"
+	"involution/internal/server/api"
+)
+
+func openLake(t *testing.T, dir string) *lake.Lake {
+	t.Helper()
+	lk, err := lake.Open(lake.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("lake.Open(%s): %v", dir, err)
+	}
+	return lk
+}
+
+// TestLakeTierSurvivesRestart is the tentpole contract end to end: a
+// result computed by one server instance is served — byte-identical, with
+// tier attribution — by a fresh instance over the same lake directory,
+// and the lake hit promotes the entry into the new instance's RAM tier.
+func TestLakeTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Netlist: bufNetlist, Inputs: map[string]string{"i": "0 r@1 f@2"}, Horizon: 10}
+
+	lk1 := openLake(t, dir)
+	s1 := New(Config{Workers: 2, QueueDepth: 8, Lake: lk1})
+	first := submitWait(t, s1.Handler(), req)
+	if first.Status != StatusCompleted || first.Cached {
+		t.Fatalf("first run: status=%s cached=%v", first.Status, first.Cached)
+	}
+	s1.Drain(5 * time.Second)
+	if err := lk1.Close(); err != nil {
+		t.Fatalf("lake close: %v", err)
+	}
+
+	// "Restart": a brand-new server (empty RAM cache, empty memo) over a
+	// reopened lake.
+	lk2 := openLake(t, dir)
+	defer lk2.Close()
+	s2 := New(Config{Workers: 2, QueueDepth: 8, Lake: lk2})
+	defer s2.Drain(5 * time.Second)
+	h := s2.Handler()
+
+	second := submitWait(t, h, req)
+	if !second.Cached || second.CacheTier != api.TierLake {
+		t.Fatalf("post-restart submit: cached=%v tier=%q, want lake hit", second.Cached, second.CacheTier)
+	}
+	if !bytes.Equal(compactJSON(t, first.Result), compactJSON(t, second.Result)) {
+		t.Fatalf("lake hit not byte-identical:\n first %s\nsecond %s", first.Result, second.Result)
+	}
+	if first.ResultHash == "" || first.ResultHash != second.ResultHash {
+		t.Fatalf("result hashes differ: %q vs %q", first.ResultHash, second.ResultHash)
+	}
+
+	// The lake hit promoted the entry: the next identical submit is a RAM
+	// hit.
+	third := submitWait(t, h, req)
+	if !third.Cached || third.CacheTier != api.TierMem {
+		t.Fatalf("post-promotion submit: cached=%v tier=%q, want mem hit", third.Cached, third.CacheTier)
+	}
+
+	// Tier attribution is visible on /metrics, and the rollup the CI smoke
+	// greps still counts both.
+	w := doJSON(t, h, "GET", "/metrics", nil)
+	for _, want := range []string{
+		"simd_cache_hits_lake_total 1",
+		"simd_cache_hits_mem_total 1",
+		"simd_cache_hits_total 2",
+		"simd_lake_entries 1",
+	} {
+		if !strings.Contains(w.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestLakeCorruptRecordNeverServed corrupts the stored payload on disk
+// between two server lifetimes and asserts the poisoned record is not
+// served: the submit re-simulates (no cached flag) and still produces the
+// original bytes, and the corruption is counted.
+func TestLakeCorruptRecordNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Netlist: bufNetlist, Inputs: map[string]string{"i": "0 r@1 f@2"}, Horizon: 10}
+
+	lk1 := openLake(t, dir)
+	s1 := New(Config{Workers: 2, QueueDepth: 8, Lake: lk1})
+	first := submitWait(t, s1.Handler(), req)
+	s1.Drain(5 * time.Second)
+	if err := lk1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte in the (single) segment file.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.lake"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	raw[nl+10] ^= 0x01
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lk2 := openLake(t, dir)
+	defer lk2.Close()
+	s2 := New(Config{Workers: 2, QueueDepth: 8, Lake: lk2})
+	defer s2.Drain(5 * time.Second)
+	h := s2.Handler()
+
+	second := submitWait(t, h, req)
+	if second.Cached {
+		t.Fatalf("corrupted lake record was served as a cache hit (tier %q)", second.CacheTier)
+	}
+	if second.Status != StatusCompleted {
+		t.Fatalf("re-simulation failed: %s (%s)", second.Status, second.Error)
+	}
+	if !bytes.Equal(compactJSON(t, first.Result), compactJSON(t, second.Result)) {
+		t.Fatal("re-simulated result differs from the original")
+	}
+	if lk2.Stats().Corrupt == 0 {
+		t.Fatal("corruption not counted")
+	}
+	w := doJSON(t, h, "GET", "/metrics", nil)
+	if !strings.Contains(w.Body.String(), "simd_lake_corrupt_total 1") {
+		t.Error("/metrics missing simd_lake_corrupt_total 1")
+	}
+}
+
+// TestMemoFastPathServesHits proves the raw-body memo path: a repeated
+// byte-identical submit is served as a cache hit carrying the right
+// circuit name even though the fast path never decodes the body, and a
+// *reformatted* (different bytes, same canonical form) submit still hits
+// through the full canonicalization path.
+func TestMemoFastPathServesHits(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	req := Request{Netlist: bufNetlist, Inputs: map[string]string{"i": "0 r@1 f@2"}, Horizon: 10}
+
+	first := submitWait(t, h, req)
+	if first.Cached {
+		t.Fatal("first submit cached")
+	}
+	second := submitWait(t, h, req)
+	if !second.Cached || second.CacheTier != api.TierMem {
+		t.Fatalf("repeat submit: cached=%v tier=%q", second.Cached, second.CacheTier)
+	}
+	if second.Circuit != first.Circuit || second.Hash != first.Hash {
+		t.Fatalf("memo-served record misnamed: circuit=%q hash=%q, want %q %q",
+			second.Circuit, second.Hash, first.Circuit, first.Hash)
+	}
+
+	// Same design, different surface syntax (extra whitespace in the
+	// netlist): misses the memo, hits the cache after canonicalization.
+	reformatted := Request{
+		Netlist: strings.ReplaceAll(bufNetlist, "channel i g 0 pure d=1", "channel  i  g  0  pure  d=1"),
+		Inputs:  map[string]string{"i": "0 r@1 f@2"}, Horizon: 10,
+	}
+	third := submitWait(t, h, reformatted)
+	if !third.Cached || third.Hash != first.Hash {
+		t.Fatalf("reformatted submit: cached=%v hash=%q, want hit on %q", third.Cached, third.Hash, first.Hash)
+	}
+
+	// The memo must not bypass validation for *invalid* bodies: garbage
+	// still 400s.
+	w := doJSON(t, h, "POST", "/v1/jobs?wait=1", map[string]string{"nope": "x"})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("invalid body after memo warm: status %d", w.Code)
+	}
+}
+
+func compactJSON(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	return buf.Bytes()
+}

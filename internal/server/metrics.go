@@ -13,12 +13,18 @@ import (
 // cache occupancy, hit ratio) are refreshed at scrape time so /metrics is
 // consistent without a background sampler.
 type metrics struct {
-	submitted   *obs.Counter
-	completed   *obs.Counter
-	aborted     *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	queueFull   *obs.Counter
+	submitted *obs.Counter
+	completed *obs.Counter
+	aborted   *obs.Counter
+	// Cache hits are a two-tier family: the rollup plus one counter per
+	// tier (the registry has no label support, so the tier rides in the
+	// name — simd_cache_hits_<tier>_total, mirroring the shed family).
+	cacheHits     *obs.Counter
+	cacheHitsMem  *obs.Counter
+	cacheHitsLake *obs.Counter
+	cacheMisses   *obs.Counter
+	lakePutErrors *obs.Counter
+	queueFull     *obs.Counter
 
 	// The shed counter family: one counter per refusal reason (the registry
 	// has no label support, so the reason rides in the name — the
@@ -36,6 +42,7 @@ type metrics struct {
 	poolWidth      *obs.Gauge
 	inFlight       *obs.Gauge
 	cacheEntries   *obs.Gauge
+	cacheBytes     *obs.Gauge
 	cacheHitRatio  *obs.Gauge
 	flightRecorded *obs.Gauge
 	flightDropped  *obs.Gauge
@@ -47,12 +54,15 @@ type metrics struct {
 
 func newMetrics(reg *obs.Registry) *metrics {
 	return &metrics{
-		submitted:   reg.Counter("simd_jobs_submitted_total", "jobs accepted by POST /v1/jobs (including cache hits)"),
-		completed:   reg.Counter("simd_jobs_completed_total", "jobs that ran to their horizon"),
-		aborted:     reg.Counter("simd_jobs_aborted_total", "jobs that aborted (any sim abort class)"),
-		cacheHits:   reg.Counter("simd_cache_hits_total", "submissions answered from the result cache"),
-		cacheMisses: reg.Counter("simd_cache_misses_total", "submissions that had to run"),
-		queueFull:   reg.Counter("simd_queue_full_total", "submissions rejected because the job queue was full"),
+		submitted:     reg.Counter("simd_jobs_submitted_total", "jobs accepted by POST /v1/jobs (including cache hits)"),
+		completed:     reg.Counter("simd_jobs_completed_total", "jobs that ran to their horizon"),
+		aborted:       reg.Counter("simd_jobs_aborted_total", "jobs that aborted (any sim abort class)"),
+		cacheHits:     reg.Counter("simd_cache_hits_total", "submissions answered from any result-cache tier (sum of the simd_cache_hits_<tier>_total family)"),
+		cacheHitsMem:  reg.Counter("simd_cache_hits_mem_total", "submissions answered from the in-process RAM LRU"),
+		cacheHitsLake: reg.Counter("simd_cache_hits_lake_total", "submissions answered from the persistent result lake (and promoted to RAM)"),
+		cacheMisses:   reg.Counter("simd_cache_misses_total", "submissions that had to run"),
+		lakePutErrors: reg.Counter("simd_lake_put_errors_total", "completed results that failed to write through to the lake"),
+		queueFull:     reg.Counter("simd_queue_full_total", "submissions rejected because the job queue was full"),
 
 		shedTotal:      reg.Counter("simd_shed_total", "submissions shed for any reason (sum of the simd_shed_<reason>_total family)"),
 		shedRate:       reg.Counter("simd_shed_rate_total", "submissions refused by a tenant's request-rate limit (429)"),
@@ -64,8 +74,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		queueDepth:     reg.Gauge("simd_queue_depth", "jobs waiting in the worker-pool queue"),
 		poolWidth:      reg.Gauge("simd_pool_width", "effective worker-pool concurrency (AIMD brownout narrows it below the worker count)"),
 		inFlight:       reg.Gauge("simd_jobs_inflight", "jobs currently simulating"),
-		cacheEntries:   reg.Gauge("simd_cache_entries", "results held by the LRU cache"),
-		cacheHitRatio:  reg.Gauge("simd_cache_hit_ratio", "cache hits / (hits + misses) since start"),
+		cacheEntries:   reg.Gauge("simd_cache_entries", "results held by the RAM LRU cache"),
+		cacheBytes:     reg.Gauge("simd_cache_bytes", "payload bytes held by the RAM LRU cache"),
+		cacheHitRatio:  reg.Gauge("simd_cache_hit_ratio", "cache hits / (hits + misses) since start, all tiers"),
 		flightRecorded: reg.Gauge("simd_flight_recorded_total", "finished jobs offered to the flight recorder"),
 		flightDropped:  reg.Gauge("simd_flight_dropped_total", "flight-recorder offers dropped or evicted by the retention bounds"),
 
@@ -111,6 +122,20 @@ func (m *metrics) refresh(s *Server) {
 	})
 	m.inFlight.Set(float64(s.pool.InFlight()))
 	m.cacheEntries.Set(float64(s.cache.len()))
+	m.cacheBytes.Set(float64(s.cache.size()))
+	// Lake occupancy and integrity, published only when a lake is mounted.
+	// The _total names are levels refreshed at scrape time (the
+	// simd_flight_recorded_total precedent): the lake keeps its own
+	// monotonic counts, and re-publishing them as gauges keeps /metrics
+	// consistent without a second accounting path.
+	if s.lk != nil {
+		ls := s.lk.Stats()
+		s.reg.Gauge("simd_lake_entries", "results held by the persistent lake").Set(float64(ls.Entries))
+		s.reg.Gauge("simd_lake_bytes", "bytes held by the persistent lake's segments").Set(float64(ls.Bytes))
+		s.reg.Gauge("simd_lake_segments", "segment files in the persistent lake").Set(float64(ls.Segments))
+		s.reg.Gauge("simd_lake_corrupt_total", "lake reads that failed ResultHash verification and were quarantined").Set(float64(ls.Corrupt))
+		s.reg.Gauge("simd_lake_gc_segments_total", "lake segments dropped by the byte-bound GC").Set(float64(ls.GCSegs))
+	}
 	hits, misses := float64(m.cacheHits.Value()), float64(m.cacheMisses.Value())
 	ratio := 0.0
 	if hits+misses > 0 {

@@ -22,7 +22,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +40,7 @@ import (
 	"time"
 
 	"involution/internal/admission"
+	"involution/internal/lake"
 	"involution/internal/obs"
 	"involution/internal/obs/tracing"
 	"involution/internal/sched"
@@ -60,9 +64,17 @@ type Config struct {
 	// QueueDepth bounds the number of queued-but-not-running jobs; full
 	// queues reject submits with 503 (default 64).
 	QueueDepth int
-	// CacheSize bounds the result cache entry count (default 256; 0 uses
-	// the default, negative disables caching).
-	CacheSize int
+	// CacheBytes bounds the RAM result cache by the total bytes of cached
+	// payloads — one huge trace can't blow memory while tiny results
+	// under-fill the cache (default 32 MiB; 0 uses the default, negative
+	// disables caching).
+	CacheBytes int64
+	// Lake is an optional persistent content-addressed result store
+	// mounted as the second cache tier under the RAM LRU: lake hits are
+	// promoted to RAM, completed misses are written through, and the
+	// accumulated results survive restarts (simd -lake). The server does
+	// not own the lake's lifecycle — the caller opens and closes it.
+	Lake *lake.Lake
 	// Registry receives the simd_* metrics (default: a fresh registry).
 	Registry *obs.Registry
 	// Version is reported by GET /version (default "dev").
@@ -110,6 +122,8 @@ type Server struct {
 	met    *metrics
 	pool   *sched.Pool
 	cache  *resultCache
+	memo   *canonMemo              // raw body bytes → canonical hash (submit fast path)
+	lk     *lake.Lake              // nil: RAM tier only
 	flight *tracing.FlightRecorder // nil: tracing disabled
 	node   string                  // span node label (Advertise or "simd")
 
@@ -145,8 +159,8 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	if cfg.CacheSize == 0 {
-		cfg.CacheSize = 256
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 32 << 20
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
@@ -165,7 +179,9 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		reg:      cfg.Registry,
 		pool:     sched.NewPool(cfg.Workers, cfg.QueueDepth),
-		cache:    newResultCache(cfg.CacheSize),
+		cache:    newResultCache(cfg.CacheBytes),
+		memo:     newCanonMemo(canonMemoMax),
+		lk:       cfg.Lake,
 		builtins: defaultBuiltins(),
 		jobs:     make(map[string]*job),
 		node:     cfg.Advertise,
@@ -272,8 +288,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	remote, _ := tracing.ParseTraceparent(r.Header.Get(tracing.TraceparentHeader))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request body: "+err.Error())
+		return
+	}
+
+	// Memoized fast path: this exact body already compiled once, so its
+	// canonical hash is known without decoding, parsing, or re-marshaling
+	// anything — a repeat hit costs one SHA-256 of the wire bytes plus two
+	// map lookups. Entries exist only for bodies that compiled
+	// successfully, so skipping validation here cannot admit a bad request.
+	bodySum := sha256.Sum256(body)
+	bodyKey := hex.EncodeToString(bodySum[:])
+	if hash, name, ok := s.memo.get(bodyKey); ok {
+		if raw, rhash, tier, ok := s.cacheGet(hash); ok {
+			s.met.submitted.Inc()
+			s.serveCached(w, &compiled{hash: hash, name: name}, raw, rhash, tier, remote, t0)
+			return
+		}
+	}
+
 	var req Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "request body: "+err.Error())
@@ -289,6 +326,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.memo.put(bodyKey, c.hash, c.name)
 	s.met.submitted.Inc()
 
 	q := r.URL.Query()
@@ -296,27 +334,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	wantTrace := streaming || q.Get("trace") == "1"
 
 	// Content-addressed fast path: an identical canonical request already
-	// completed, so answer with the exact cached bytes (streaming and
-	// waiting submits get the record immediately — there is nothing left
-	// to follow).
-	if raw, ok := s.cache.get(c.hash); ok {
-		s.met.cacheHits.Inc()
-		j := s.register(c, false)
-		s.beginTrace(j, remote, t0)
-		j.traceCacheLookup(true)
-		now := time.Now()
-		j.finish.Do(func() {
-			j.mu.Lock()
-			j.rec.Status = StatusCompleted
-			j.rec.Cached = true
-			j.rec.Finished = &now
-			j.rec.Result = raw
-			j.rec.ResultHash = api.ResultHashOf(raw)
-			j.mu.Unlock()
-			s.finishTrace(j, now, StatusCompleted, "")
-			close(j.done)
-		})
-		writeJSON(w, http.StatusOK, j.snapshot())
+	// completed (this run or — via the lake — any previous run of this
+	// node), so answer with the exact cached bytes (streaming and waiting
+	// submits get the record immediately — there is nothing left to
+	// follow).
+	if raw, rhash, tier, ok := s.cacheGet(c.hash); ok {
+		s.serveCached(w, c, raw, rhash, tier, remote, t0)
 		return
 	}
 	s.met.cacheMisses.Inc()
@@ -396,6 +419,56 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 	}
+}
+
+// cacheGet is the tiered content-addressed lookup: RAM LRU first, then
+// the persistent lake. Lake hits are promoted to RAM so a hot key pays
+// the disk read (and its integrity verification) once; the returned
+// payload was hash-verified by the lake, so promotion cannot launder a
+// corrupt record into the RAM tier.
+func (s *Server) cacheGet(hash string) (raw json.RawMessage, rhash, tier string, ok bool) {
+	if raw, rhash, ok := s.cache.get(hash); ok {
+		return raw, rhash, api.TierMem, true
+	}
+	if s.lk != nil {
+		if payload, ok := s.lk.Get(hash); ok {
+			rhash := api.ResultHashOf(payload)
+			s.cache.put(hash, payload, rhash)
+			return payload, rhash, api.TierLake, true
+		}
+	}
+	return nil, "", "", false
+}
+
+// serveCached answers a submit with cached result bytes: the job record
+// is terminal at birth, carries the exact payload of the first run, and
+// names the tier that produced it. The per-tier counter rides in the
+// metric name (simd_cache_hits_<tier>_total) since the registry has no
+// labels; simd_cache_hits_total stays the rollup.
+func (s *Server) serveCached(w http.ResponseWriter, c *compiled, raw json.RawMessage, rhash, tier string, remote tracing.SpanContext, t0 time.Time) {
+	if tier == api.TierLake {
+		s.met.cacheHitsLake.Inc()
+	} else {
+		s.met.cacheHitsMem.Inc()
+	}
+	s.met.cacheHits.Inc()
+	j := s.register(c, false)
+	s.beginTrace(j, remote, t0)
+	j.traceCacheLookup(true)
+	now := time.Now()
+	j.finish.Do(func() {
+		j.mu.Lock()
+		j.rec.Status = StatusCompleted
+		j.rec.Cached = true
+		j.rec.CacheTier = tier
+		j.rec.Finished = &now
+		j.rec.Result = raw
+		j.rec.ResultHash = rhash
+		j.mu.Unlock()
+		s.finishTrace(j, now, StatusCompleted, "")
+		close(j.done)
+	})
+	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
 // apiKey extracts the tenant key from the X-Api-Key header, falling back
@@ -739,16 +812,26 @@ func (s *Server) finishJob(j *job, start time.Time, p ResultPayload) {
 			p.Status = StatusAborted
 		}
 		end := time.Now()
+		rhash := api.ResultHashOf(raw)
 		j.mu.Lock()
 		j.rec.Status = p.Status
 		j.rec.Class = p.Class
 		j.rec.Error = p.Error
 		j.rec.Finished = &end
 		j.rec.Result = raw
-		j.rec.ResultHash = api.ResultHashOf(raw)
+		j.rec.ResultHash = rhash
 		j.mu.Unlock()
 		if p.Status == StatusCompleted {
-			s.cache.put(j.c.hash, raw)
+			s.cache.put(j.c.hash, raw, rhash)
+			// Write-through: a completed result is a pure function of the
+			// canonical hash, so it is durable forever. A lake write failure
+			// (disk full, IO error) only costs future hits — the response
+			// already in flight is unaffected.
+			if s.lk != nil {
+				if err := s.lk.Put(j.c.hash, j.c.name, j.c.req.Adversary, raw); err != nil {
+					s.met.lakePutErrors.Inc()
+				}
+			}
 			s.met.completed.Inc()
 		} else {
 			s.met.aborted.Inc()
