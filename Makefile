@@ -27,12 +27,13 @@ fmt-check:
 # event-time validation on/off pair, the end-to-end ring oscillator, the
 # parallel campaign engine scaling run, the serving-layer submit
 # latency/throughput pair, the cluster dispatch-overhead/fleet-scaling
-# pair, and the 1×-vs-4× overload goodput/p99 pair) and writes
-# BENCH_sim.json — the machine-readable evidence for the ≤2 % no-observer
-# and ≤2 % scheduling-time-validation overhead budgets, the workers=N
-# report identity, the ≥1.5× two-node sweep throughput floor, and the
-# overload-protection goodput story.
-BENCH_PATTERN := BenchmarkDeepPendingRetirement|BenchmarkCancellationHeavyChain|BenchmarkObserverOverhead|BenchmarkEventTimeValidation|BenchmarkSimulatorRingOscillator|BenchmarkCampaignParallel|BenchmarkServerSubmitLatency|BenchmarkServerThroughput|BenchmarkClusterDispatch|BenchmarkClusterSweepThroughput|BenchmarkOverloadGoodput
+# pair, the 1×-vs-4× overload goodput/p99 pair, and the adversarial-search
+# convergence run) and writes BENCH_sim.json — the machine-readable
+# evidence for the ≤2 % no-observer and ≤2 % scheduling-time-validation
+# overhead budgets, the workers=N report identity, the ≥1.5× two-node
+# sweep throughput floor, the overload-protection goodput story, and the
+# attack search's evals-to-first-break / ≥50 % lake-dedup-on-rerun bars.
+BENCH_PATTERN := BenchmarkDeepPendingRetirement|BenchmarkCancellationHeavyChain|BenchmarkObserverOverhead|BenchmarkEventTimeValidation|BenchmarkSimulatorRingOscillator|BenchmarkCampaignParallel|BenchmarkServerSubmitLatency|BenchmarkServerThroughput|BenchmarkClusterDispatch|BenchmarkClusterSweepThroughput|BenchmarkOverloadGoodput|BenchmarkAttackConvergence
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 ./internal/sim/ ./internal/cluster/ . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_sim.json

@@ -1,0 +1,133 @@
+// Attack-search convergence and cross-run lake dedup. The acceptance bar
+// for the search subsystem is twofold: the seeded annealing search must
+// defeat the Fig. 5 SPF circuit within a small, fixed evaluation budget,
+// and re-running the same search against a restarted (RAM-cold,
+// lake-warm) fleet must answer at least half of the gen-2+ evaluations
+// from the persistent result lake instead of re-simulating.
+package involution_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"involution/internal/attack"
+	"involution/internal/cluster"
+	"involution/internal/lake"
+	"involution/internal/server"
+)
+
+// attackSearchRun executes one seeded defeat-spf annealing search against
+// a single-node fleet whose server persists results into the lake at dir,
+// and returns the campaign result. The server is torn down afterwards, so
+// consecutive calls model a fleet restart: RAM cache cold, lake warm.
+func attackSearchRun(tb testing.TB, dir string) *attack.Result {
+	tb.Helper()
+	lk, err := lake.Open(lake.Options{Dir: dir, MaxBytes: 256 << 20})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := server.New(server.Config{
+		Workers:    runtime.GOMAXPROCS(0),
+		QueueDepth: 64,
+		CacheBytes: 16 << 20,
+		Lake:       lk,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Drain(30 * time.Second)
+		lk.Close()
+	}()
+	coord, err := cluster.NewCoordinator(cluster.Options{Peers: []string{ts.Listener.Addr().String()}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer coord.Close()
+
+	obj, err := attack.NewDefeatSPF(0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sr, err := attack.NewSearcher("anneal")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := attack.Run(context.Background(), attack.Config{
+		Objective:   obj,
+		Searcher:    sr,
+		Eval:        coord,
+		Generations: 6,
+		Batch:       16,
+		Seed:        7,
+		Workers:     8,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// lateLakeRatio is the fraction of gen-2+ evaluations answered by the
+// lake.
+func lateLakeRatio(res *attack.Result) float64 {
+	evals, hits := 0, 0
+	for _, g := range res.Gens {
+		if g.Gen < 2 {
+			continue
+		}
+		evals += g.Evals
+		hits += g.LakeHits
+	}
+	if evals == 0 {
+		return 0
+	}
+	return float64(hits) / float64(evals)
+}
+
+// TestAttackLakeDedupAcrossRuns reruns the identical search against a
+// restarted fleet sharing only the result lake: the second run must break
+// SPF identically and satisfy ≥50 % lake dedup over gen-2+ evaluations.
+func TestAttackLakeDedupAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two fleet-backed searches")
+	}
+	dir := t.TempDir()
+	first := attackSearchRun(t, dir)
+	if first.Breaking == 0 {
+		t.Fatalf("first run found no breaking attack: %+v", first)
+	}
+	second := attackSearchRun(t, dir)
+	if second.Breaking != first.Breaking || second.Best.Key != first.Best.Key {
+		t.Fatalf("reruns diverged: first best %q (%d breaking), second best %q (%d breaking)",
+			first.Best.Key, first.Breaking, second.Best.Key, second.Breaking)
+	}
+	if ratio := lateLakeRatio(second); ratio < 0.5 {
+		t.Fatalf("gen-2+ lake dedup ratio %.2f < 0.50 (lake hits %d of %d evals)",
+			ratio, second.LakeHits, second.Evals)
+	}
+}
+
+// BenchmarkAttackConvergence reports how fast the seeded annealing search
+// finds its first SPF-defeating attack (evals_to_first_break) and how much
+// of a rerun the result lake absorbs (lake_dedup_ratio over gen-2+
+// evaluations of a second search on a restarted fleet).
+func BenchmarkAttackConvergence(b *testing.B) {
+	var firstBreak, ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		cold := attackSearchRun(b, dir)
+		if cold.FirstBreakEval == 0 {
+			b.Fatal("search found no breaking attack")
+		}
+		warm := attackSearchRun(b, dir)
+		firstBreak += float64(cold.FirstBreakEval)
+		ratio += lateLakeRatio(warm)
+	}
+	b.ReportMetric(firstBreak/float64(b.N), "evals_to_first_break")
+	b.ReportMetric(ratio/float64(b.N), "lake_dedup_ratio")
+	b.ReportMetric(0, "ns/op")
+}

@@ -45,7 +45,7 @@ func budgetRow(name string, st sim.RunStats) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2|4|7|8a|8b|8c|9|thm9|spf|set|contrast|chain|srlatch|tail|window|ring|all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2|4|7|8a|8b|8c|9|thm9|spf|set|contrast|chain|srlatch|tail|window|ring|attack|all")
 	out := flag.String("out", "", "directory for CSV output (omit to skip CSV)")
 	points := flag.Int("points", 9, "Δ₀ sweep points per adversary for thm9")
 	flag.Parse()
@@ -82,6 +82,7 @@ func main() {
 	run("tail", tail)
 	run("window", window)
 	run("ring", ring)
+	run("attack", attackBands)
 }
 
 func ring(dir string) error {

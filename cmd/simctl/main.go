@@ -76,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runSweep(args[1:], stdout, stderr)
 	case "campaign":
 		return runCampaign(args[1:], stdout, stderr)
+	case "attack":
+		return runAttack(args[1:], stdout, stderr)
 	case "trace":
 		return runTrace(args[1:], stdout, stderr)
 	case "top":
@@ -98,6 +100,7 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   simctl sweep    -peers <addr,...> [flags]   Theorem 9 SET sweep on the fleet
   simctl campaign -peers <addr,...> -f <netlist> [flags]   overlay-fault campaign
+  simctl attack   [-local | -peers <addr,...>] [-objective defeat-spf] [-searcher anneal] [flags]   search for the weakest breaking perturbation
   simctl trace    <trace-id|job-hash> -peers <addr,...> [-spans file]   render one trace's cross-node timeline
   simctl top      -peers <addr,...> [-n 10] [-once]   slowest retained jobs across the fleet
   simctl chaos-soak -peers <addr,...> [-schedules 2] [-dir out]   byte-identity soak under seeded chaos + coordinator kill/resume

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	ossignal "os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -252,16 +253,17 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 func runTop(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("simctl top", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	peersFlag := fs.String("peers", "", "comma-separated simd node addresses (required)")
+	peersFlag := fs.String("peers", "", "comma-separated simd node addresses (required unless -attack)")
 	n := fs.Int("n", 10, "rows to show")
 	interval := fs.Duration("interval", 2*time.Second, "refresh period")
 	once := fs.Bool("once", false, "print one table and exit")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-node fetch timeout")
+	attackGlob := fs.String("attack", "", "glob of attack progress files (simctl attack -progress) to render as an ATTACK section")
 	if err := fs.Parse(args); err != nil {
 		return sim.ExitUsage
 	}
 	peers := splitPeers(*peersFlag)
-	if len(peers) == 0 {
+	if len(peers) == 0 && *attackGlob == "" {
 		return fatal(stderr, fmt.Errorf("-peers is required (comma-separated simd addresses)"))
 	}
 
@@ -269,7 +271,31 @@ func runTop(args []string, stdout, stderr io.Writer) int {
 	defer stopSignals()
 
 	for {
-		// Fleet load first: live queue depth and running jobs per node.
+		// Running attack searches, when asked for: their coordinators keep
+		// per-generation progress files current, no fleet round-trip needed.
+		if *attackGlob != "" {
+			paths, err := filepath.Glob(*attackGlob)
+			if err != nil {
+				return fatal(stderr, err)
+			}
+			sort.Strings(paths)
+			attackProgressSection(stdout, paths)
+			fmt.Fprintln(stdout)
+			if len(peers) == 0 {
+				if *once {
+					return 0
+				}
+				select {
+				case <-ctx.Done():
+					return sim.ExitCanceled
+				case <-time.After(*interval):
+				}
+				fmt.Fprintln(stdout)
+				continue
+			}
+		}
+
+		// Fleet load: live queue depth and running jobs per node.
 		fmt.Fprintf(stdout, "%-20s %-10s %8s %8s %6s %8s %10s\n", "NODE", "HEALTH", "QUEUE", "RUNNING", "WIDTH", "SHED", "THROTTLED")
 		for _, addr := range peers {
 			fctx, cancel := context.WithTimeout(ctx, *timeout)

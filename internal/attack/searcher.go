@@ -1,0 +1,247 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Searcher proposes generations of candidates and learns from their
+// scores. Implementations must follow the resume discipline:
+//
+//   - Propose must not mutate searcher state, and must depend only on
+//     (space, gen, batch, rng) plus state accumulated by earlier Observe
+//     calls.
+//   - All internal state must be a pure function of the sequence of
+//     Observe calls.
+//
+// Under that discipline a killed campaign resumes bit-exactly by replaying
+// Observe over the journaled generations: the searcher lands in the same
+// state, the per-generation rngs are re-derived from (seed, gen, stream),
+// and the next Propose emits the same batch the dead process would have.
+type Searcher interface {
+	Name() string
+	// Propose returns the generation's candidates (unsnapped; the campaign
+	// snaps and budget-filters them). rng is the generation's proposal
+	// stream.
+	Propose(space Space, gen, batch int, rng *rand.Rand) [][]float64
+	// Observe folds the fully scored generation (in proposal order,
+	// including infeasible and deduped entries) into searcher state. rng is
+	// the generation's observation stream.
+	Observe(space Space, gen int, scored []Scored, rng *rand.Rand)
+}
+
+// NewSearcher builds a named searcher: grid | anneal | cem.
+func NewSearcher(name string) (Searcher, error) {
+	switch name {
+	case "grid":
+		return &Grid{}, nil
+	case "anneal":
+		return &Anneal{}, nil
+	case "cem":
+		return &CEM{}, nil
+	default:
+		return nil, fmt.Errorf("attack: unknown searcher %q (want grid|anneal|cem)", name)
+	}
+}
+
+// Grid sweeps the whole lattice in canonical mixed-radix order, batch by
+// batch: generation g proposes lattice indices [g·batch, (g+1)·batch).
+// It is exhaustive and stateless — Observe is a no-op — so it is the
+// ground-truth searcher for small spaces and the dedup stress-test for
+// large ones (its proposals never depend on noise).
+type Grid struct{}
+
+func (*Grid) Name() string { return "grid" }
+
+func (*Grid) Propose(space Space, gen, batch int, _ *rand.Rand) [][]float64 {
+	total := 1
+	for _, d := range space.Dims {
+		total *= d.Levels()
+	}
+	out := make([][]float64, 0, batch)
+	for k := gen * batch; k < (gen+1)*batch; k++ {
+		idx := k % total // wrap: re-proposals dedup to zero extra work
+		x := make([]float64, len(space.Dims))
+		for i, d := range space.Dims {
+			lv := d.Levels()
+			x[i] = d.Min + float64(idx%lv)*d.Step
+			idx /= lv
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func (*Grid) Observe(Space, int, []Scored, *rand.Rand) {}
+
+// Anneal is simulated annealing over the lattice: each generation proposes
+// a batch of neighbors of the incumbent (coordinate steps scaled by a
+// geometric temperature), then the standard Metropolis rule accepts the
+// generation's best as the new incumbent. Generation 0 (no incumbent yet)
+// proposes uniform random lattice points.
+type Anneal struct {
+	// T0 and Decay shape the temperature T(gen) = T0·Decay^gen in units of
+	// lattice steps. Zero values default to T0=6, Decay=0.92.
+	T0, Decay float64
+
+	cur      []float64
+	curScore float64
+	has      bool
+}
+
+func (*Anneal) Name() string { return "anneal" }
+
+func (a *Anneal) temp(gen int) float64 {
+	t0, dec := a.T0, a.Decay
+	if t0 == 0 {
+		t0 = 6
+	}
+	if dec == 0 {
+		dec = 0.92
+	}
+	return t0 * math.Pow(dec, float64(gen))
+}
+
+func uniformPoint(space Space, rng *rand.Rand) []float64 {
+	x := make([]float64, len(space.Dims))
+	for i, d := range space.Dims {
+		x[i] = d.Min + float64(rng.Intn(d.Levels()))*d.Step
+	}
+	return x
+}
+
+func (a *Anneal) Propose(space Space, gen, batch int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, batch)
+	t := a.temp(gen)
+	for b := range out {
+		if !a.has {
+			out[b] = uniformPoint(space, rng)
+			continue
+		}
+		x := make([]float64, len(space.Dims))
+		copy(x, a.cur)
+		// Perturb a random subset of coordinates by ±Geometric(T) steps.
+		moved := false
+		for i, d := range space.Dims {
+			if d.Levels() == 1 || rng.Float64() > 0.5 {
+				continue
+			}
+			steps := 1 + rng.Intn(1+int(t))
+			if rng.Intn(2) == 0 {
+				steps = -steps
+			}
+			x[i] += float64(steps) * d.Step
+			moved = true
+		}
+		if !moved { // force at least one move so batches explore
+			i := rng.Intn(len(space.Dims))
+			x[i] += space.Dims[i].Step
+		}
+		out[b] = x
+	}
+	return out
+}
+
+func (a *Anneal) Observe(space Space, gen int, scored []Scored, rng *rand.Rand) {
+	best, ok := bestOf(scored)
+	if !ok {
+		return
+	}
+	if !a.has {
+		a.cur, a.curScore, a.has = best.X, best.Eval.Score, true
+		return
+	}
+	d := best.Eval.Score - a.curScore
+	if d >= 0 || rng.Float64() < math.Exp(d/math.Max(a.temp(gen), 1e-9)) {
+		a.cur, a.curScore = best.X, best.Eval.Score
+	}
+}
+
+// CEM is the cross-entropy method: sample candidates from an independent
+// per-dimension Gaussian, refit mean and deviation on the elite (top
+// quarter) of each generation, and shrink toward the strongest attacks.
+// A deviation floor of one lattice step keeps late generations exploring
+// neighbors instead of collapsing onto a point.
+type CEM struct {
+	// Elite is the elite fraction (default 0.25).
+	Elite float64
+
+	mean, dev []float64
+}
+
+func (*CEM) Name() string { return "cem" }
+
+func (c *CEM) Propose(space Space, gen, batch int, rng *rand.Rand) [][]float64 {
+	mean, dev := c.mean, c.dev
+	if mean == nil {
+		mean = make([]float64, len(space.Dims))
+		dev = make([]float64, len(space.Dims))
+		for i, d := range space.Dims {
+			mean[i] = (d.Min + d.Max) / 2
+			dev[i] = math.Max((d.Max-d.Min)/2, d.Step)
+		}
+	}
+	out := make([][]float64, batch)
+	for b := range out {
+		x := make([]float64, len(space.Dims))
+		for i := range space.Dims {
+			x[i] = mean[i] + dev[i]*rng.NormFloat64()
+		}
+		out[b] = x
+	}
+	return out
+}
+
+func (c *CEM) Observe(space Space, _ int, scored []Scored, _ *rand.Rand) {
+	ranked := make([]Scored, 0, len(scored))
+	for _, s := range scored {
+		if s.Eval.Score > InfeasibleScore {
+			ranked = append(ranked, s)
+		}
+	}
+	if len(ranked) == 0 {
+		return
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Eval.Score > ranked[j].Eval.Score })
+	frac := c.Elite
+	if frac <= 0 || frac > 1 {
+		frac = 0.25
+	}
+	n := int(math.Ceil(frac * float64(len(ranked))))
+	elite := ranked[:n]
+
+	mean := make([]float64, len(space.Dims))
+	dev := make([]float64, len(space.Dims))
+	for i, d := range space.Dims {
+		m := 0.0
+		for _, s := range elite {
+			m += s.X[i]
+		}
+		m /= float64(len(elite))
+		v := 0.0
+		for _, s := range elite {
+			v += (s.X[i] - m) * (s.X[i] - m)
+		}
+		v /= float64(len(elite))
+		mean[i] = m
+		dev[i] = math.Max(math.Sqrt(v), math.Max(d.Step, 1e-9))
+	}
+	c.mean, c.dev = mean, dev
+}
+
+// bestOf picks the highest-scoring entry, breaking ties toward the
+// earliest proposal (deterministic for a fixed generation ordering).
+func bestOf(scored []Scored) (Scored, bool) {
+	best, ok := Scored{}, false
+	for _, s := range scored {
+		if s.Eval.Score <= InfeasibleScore {
+			continue
+		}
+		if !ok || s.Eval.Score > best.Eval.Score {
+			best, ok = s, true
+		}
+	}
+	return best, ok
+}

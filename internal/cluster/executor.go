@@ -61,7 +61,7 @@ func (e *CampaignExecutor) Execute(ctx context.Context, sc fault.Scenario, seed 
 		// canonical "instrument" abort row.
 		return nil, sim.RunStats{}, fmt.Errorf("%w: %v", fault.ErrNotRemotable, err)
 	}
-	doc, taps, err := e.instrument(sc.Site, ov, probes)
+	doc, taps, err := InstrumentOverlay(e.Doc, e.Inputs, sc.Site, ov, probes)
 	if err != nil {
 		return nil, sim.RunStats{}, err
 	}
@@ -145,10 +145,10 @@ func indexNodes(d *netlist.Document) (docNodes, error) {
 
 // sourceInitial mirrors fault.overlay's source-initial lookup on the
 // document: the value the site's source node holds until time 0.
-func (e *CampaignExecutor) sourceInitial(nodes docNodes, from string) (signal.Value, error) {
+func sourceInitial(nodes docNodes, inputs map[string]signal.Signal, docName, from string) (signal.Value, error) {
 	switch nodes.kind[from] {
 	case "input":
-		in, ok := e.Inputs[from]
+		in, ok := inputs[from]
 		if !ok {
 			// The local path fails instrumentation here; fall back so it
 			// reports the canonical abort class.
@@ -158,23 +158,25 @@ func (e *CampaignExecutor) sourceInitial(nodes docNodes, from string) (signal.Va
 	case "gate":
 		return nodes.init[from], nil
 	default:
-		return signal.Low, fmt.Errorf("cluster: site source %q is not an input or gate of document %q", from, e.Doc.Name)
+		return signal.Low, fmt.Errorf("cluster: site source %q is not an input or gate of document %q", from, docName)
 	}
 }
 
-// instrument rewrites the document with the site's channel routed through
-// the overlay gate, in exactly the insertion order fault.overlay uses on
-// circuits (original nodes, control input, fault gate; original edges,
-// then the three fault edges), plus one tap output per non-output probe.
-// It returns the instrumented document and the tap→probe name mapping.
-func (e *CampaignExecutor) instrument(site fault.Site, ov fault.Overlay, probes []string) (*netlist.Document, map[string]string, error) {
-	nodes, err := indexNodes(e.Doc)
+// InstrumentOverlay rewrites the document with the site's channel routed
+// through the overlay gate, in exactly the insertion order fault.overlay
+// uses on circuits (original nodes, control input, fault gate; original
+// edges, then the three fault edges), plus one tap output per non-output
+// probe. It returns the instrumented document and the tap→probe name
+// mapping. It is the netlist-level twin of fault.Instrument, shared by the
+// campaign executor and the attack subsystem's class-flip objective.
+func InstrumentOverlay(srcDoc *netlist.Document, inputs map[string]signal.Signal, site fault.Site, ov fault.Overlay, probes []string) (*netlist.Document, map[string]string, error) {
+	nodes, err := indexNodes(srcDoc)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, reserved := range []string{fault.CtlInput, fault.FaultGate} {
 		if _, ok := nodes.kind[reserved]; ok {
-			return nil, nil, fmt.Errorf("cluster: document %q already contains %q", e.Doc.Name, reserved)
+			return nil, nil, fmt.Errorf("cluster: document %q already contains %q", srcDoc.Name, reserved)
 		}
 	}
 
@@ -182,7 +184,7 @@ func (e *CampaignExecutor) instrument(site fault.Site, ov fault.Overlay, probes 
 	// circuit, exactly as in fault.overlay.
 	target := -1
 	var channels []netlist.Stmt
-	for _, st := range e.Doc.Stmts {
+	for _, st := range srcDoc.Stmts {
 		if st.Fields[0] != "channel" {
 			continue
 		}
@@ -196,17 +198,17 @@ func (e *CampaignExecutor) instrument(site fault.Site, ov fault.Overlay, probes 
 		if st.Fields[2] == site.To && pin == site.Pin {
 			if st.Fields[1] != site.From {
 				return nil, nil, fmt.Errorf("cluster: document %q edge to %s/%d comes from %q, not %q",
-					e.Doc.Name, site.To, site.Pin, st.Fields[1], site.From)
+					srcDoc.Name, site.To, site.Pin, st.Fields[1], site.From)
 			}
 			target = len(channels)
 		}
 		channels = append(channels, st)
 	}
 	if target < 0 {
-		return nil, nil, fmt.Errorf("cluster: no edge %s in document %q", site.Label(), e.Doc.Name)
+		return nil, nil, fmt.Errorf("cluster: no edge %s in document %q", site.Label(), srcDoc.Name)
 	}
 
-	srcInit, err := e.sourceInitial(nodes, site.From)
+	srcInit, err := sourceInitial(nodes, inputs, srcDoc.Name, site.From)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -216,11 +218,11 @@ func (e *CampaignExecutor) instrument(site fault.Site, ov fault.Overlay, probes 
 		initOpt = "init=1"
 	}
 
-	out := &netlist.Document{Name: e.Doc.Name + "+fault"}
+	out := &netlist.Document{Name: srcDoc.Name + "+fault"}
 	add := func(fields ...string) { out.Stmts = append(out.Stmts, netlist.Stmt{Fields: fields}) }
 
 	// Nodes first, in local insertion order: originals, control, gate.
-	for _, st := range e.Doc.Stmts {
+	for _, st := range srcDoc.Stmts {
 		if st.Fields[0] != "channel" {
 			out.Stmts = append(out.Stmts, st)
 		}
@@ -234,14 +236,14 @@ func (e *CampaignExecutor) instrument(site fault.Site, ov fault.Overlay, probes 
 	for _, p := range probes {
 		kind, ok := nodes.kind[p]
 		if !ok {
-			return nil, nil, fmt.Errorf("cluster: probe %q is not a node of document %q", p, e.Doc.Name)
+			return nil, nil, fmt.Errorf("cluster: probe %q is not a node of document %q", p, srcDoc.Name)
 		}
 		if kind == "output" {
 			continue // already recorded remotely under its own name
 		}
 		tap := tapPrefix + p
 		if _, clash := nodes.kind[tap]; clash {
-			return nil, nil, fmt.Errorf("cluster: document %q already contains %q", e.Doc.Name, tap)
+			return nil, nil, fmt.Errorf("cluster: document %q already contains %q", srcDoc.Name, tap)
 		}
 		taps[tap] = p
 		add("output", tap)

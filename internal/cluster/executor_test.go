@@ -184,7 +184,7 @@ func TestInstrumentDocument(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, taps, err := exec.instrument(fault.Site{From: "i", To: "b1", Pin: 0}, ov, []string{"b1", "b2"})
+	got, taps, err := InstrumentOverlay(exec.Doc, exec.Inputs, fault.Site{From: "i", To: "b1", Pin: 0}, ov, []string{"b1", "b2"})
 	if err != nil {
 		t.Fatalf("instrument: %v", err)
 	}
@@ -214,10 +214,10 @@ channel b2 __tap_b2 0 zero
 	if _, err := got.Build(); err != nil {
 		t.Errorf("instrumented document does not build: %v", err)
 	}
-	if _, _, err := exec.instrument(fault.Site{From: "b1", To: "o", Pin: 0}, ov, nil); err == nil {
+	if _, _, err := InstrumentOverlay(exec.Doc, exec.Inputs, fault.Site{From: "b1", To: "o", Pin: 0}, ov, nil); err == nil {
 		t.Error("nonexistent edge accepted")
 	}
-	if _, _, err := exec.instrument(fault.Site{From: "b2", To: "o", Pin: 0}, ov, []string{"nope"}); err == nil {
+	if _, _, err := InstrumentOverlay(exec.Doc, exec.Inputs, fault.Site{From: "b2", To: "o", Pin: 0}, ov, []string{"nope"}); err == nil {
 		t.Error("unknown probe accepted")
 	}
 }

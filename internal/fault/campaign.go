@@ -204,7 +204,7 @@ func (c *Campaign) runScenario(sc Scenario, seed int64, opts sim.Options, base *
 	row.Scheduled = res.Stats.Scheduled
 	row.Delivered = res.Stats.Delivered
 	row.Canceled = res.Stats.Canceled
-	row.Outcome = classify(base.Signals, res.Signals, outputs, probes).String()
+	row.Outcome = Classify(base.Signals, res.Signals, outputs, probes).String()
 	return row
 }
 
@@ -218,10 +218,12 @@ func scenarioSeed(seed int64, id int) int64 {
 	return int64(x)
 }
 
-// classify compares a completed fault run's recorded signals against the
+// Classify compares a completed fault run's recorded signals against the
 // baseline's. It works on plain signal maps so remote runs — which return
-// signals without a local sim.Result — classify through the same code.
-func classify(base, res map[string]signal.Signal, outputs, probes []string) Outcome {
+// signals without a local sim.Result — classify through the same code, and
+// so other subsystems (attack-objective scoring) share the campaign's
+// outcome taxonomy exactly.
+func Classify(base, res map[string]signal.Signal, outputs, probes []string) Outcome {
 	outsEqual := true
 	finalsEqual := true
 	for _, name := range outputs {

@@ -75,7 +75,7 @@ func TestSETPropagates(t *testing.T) {
 	// Strike b1→b2 at t=10, long after the pulse passed: the glitch shows
 	// at the output but the final value is unchanged.
 	base, res := runFault(t, SET{At: 10, Width: 0.5}, Site{From: "b1", To: "b2", Pin: 0, Channel: true})
-	got := classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"})
+	got := Classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"})
 	if got != Propagated {
 		t.Fatalf("outcome %v, want propagated; o=%v", got, res.Signals["o"])
 	}
@@ -86,7 +86,7 @@ func TestSETPropagates(t *testing.T) {
 
 func TestSETBeyondHorizonMasked(t *testing.T) {
 	base, res := runFault(t, SET{At: 100, Width: 0.5}, Site{From: "b1", To: "b2", Pin: 0, Channel: true})
-	if got := classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Masked {
+	if got := Classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Masked {
 		t.Fatalf("outcome %v, want masked", got)
 	}
 }
@@ -113,7 +113,7 @@ func TestSETJitterDeterministicPerSeed(t *testing.T) {
 
 func TestStuckAtLatches(t *testing.T) {
 	base, res := runFault(t, StuckAt{V: signal.High, From: 0}, Site{From: "i", To: "b1", Pin: 0})
-	if got := classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Latched {
+	if got := Classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Latched {
 		t.Fatalf("outcome %v, want latched", got)
 	}
 	if res.Signals["o"].Final() != signal.High {
@@ -126,7 +126,7 @@ func TestStuckAtZeroSuppressesPulse(t *testing.T) {
 	if !res.Signals["o"].IsZero() {
 		t.Fatalf("output not suppressed: %v", res.Signals["o"])
 	}
-	if got := classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Propagated {
+	if got := Classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Propagated {
 		t.Fatalf("outcome %v, want propagated", got)
 	}
 }
@@ -149,7 +149,7 @@ func TestDropSwallowsTransition(t *testing.T) {
 	if !res.Signals["o"].IsZero() {
 		t.Fatalf("output not suppressed: %v", res.Signals["o"])
 	}
-	if got := classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Propagated {
+	if got := Classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Propagated {
 		t.Fatalf("outcome %v, want propagated", got)
 	}
 }
@@ -197,7 +197,7 @@ func TestDupEchoesTransitions(t *testing.T) {
 	if want := base.Signals["o"].Len() + 4; res.Signals["o"].Len() != want {
 		t.Fatalf("want %d output transitions, got %v", want, res.Signals["o"])
 	}
-	if got := classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Propagated {
+	if got := Classify(base.Signals, res.Signals, []string{"o"}, []string{"b1", "b2"}); got != Propagated {
 		t.Fatalf("outcome %v, want propagated", got)
 	}
 }

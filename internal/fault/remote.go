@@ -101,6 +101,6 @@ func (c *Campaign) runScenarioWith(ctx context.Context, exec Executor, sc Scenar
 	row.Scheduled = stats.Scheduled
 	row.Delivered = stats.Delivered
 	row.Canceled = stats.Canceled
-	row.Outcome = classify(base.Signals, sigs, outputs, probes).String()
+	row.Outcome = Classify(base.Signals, sigs, outputs, probes).String()
 	return row
 }

@@ -24,7 +24,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"math/rand"
 	"strconv"
 	"strings"
 
@@ -331,8 +330,16 @@ func buildInvolutionModel(opts map[string]string, blend bool) (channel.Model, er
 	}
 	advName := opts["adversary"]
 	delete(opts, "adversary")
+	// Remaining options are strategy parameters forwarded to the adversary
+	// registry (e.g. tr=/tf=/gain= for hold, amp=/period=/phase= for sine);
+	// the registry rejects parameters the named strategy does not take.
+	params := make(map[string]float64)
 	for k := range opts {
-		return nil, fmt.Errorf("unknown option %q for involution channel", k)
+		f, err := optFloat(opts, k, 0, true)
+		if err != nil {
+			return nil, err
+		}
+		params[k] = f
 	}
 
 	var pair delay.Pair
@@ -354,21 +361,31 @@ func buildInvolutionModel(opts map[string]string, blend bool) (channel.Model, er
 		return nil, err
 	}
 	var mk func() adversary.Strategy
-	switch advName {
-	case "", "zero":
-		mk = nil
-	case "worst":
-		mk = func() adversary.Strategy { return adversary.MinUpTime{} }
-	case "maxup":
-		mk = func() adversary.Strategy { return adversary.MaxUpTime{} }
-	case "uniform":
-		mk = func() adversary.Strategy { return adversary.Uniform{Rng: rand.New(rand.NewSource(int64(seed)))} }
-	case "walk":
-		mk = func() adversary.Strategy {
-			return &adversary.RandomWalk{Rng: rand.New(rand.NewSource(int64(seed))), Step: step}
+	if advName != "" && advName != "zero" {
+		if advName == "walk" {
+			if _, ok := params["step"]; !ok {
+				params["step"] = step // legacy default: (η⁺+η⁻)/10
+			}
 		}
-	default:
-		return nil, fmt.Errorf("unknown adversary %q", advName)
+		if len(params) == 0 {
+			params = nil
+		}
+		spec := adversary.Spec{Name: advName, Seed: int64(seed), Params: params}
+		if _, err := adversary.New(spec); err != nil {
+			return nil, err
+		}
+		// Each channel instance gets fresh strategy state from the registry.
+		mk = func() adversary.Strategy {
+			s, err := adversary.New(spec)
+			if err != nil {
+				panic(err) // validated above; specs are immutable
+			}
+			return s
+		}
+	} else if len(params) > 0 {
+		for k := range params {
+			return nil, fmt.Errorf("unknown option %q for involution channel", k)
+		}
 	}
 	return channel.NewInvolution(ch, mk)
 }
